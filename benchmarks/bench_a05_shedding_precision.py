@@ -1,0 +1,74 @@
+"""Ablation A5 — load shedding vs result precision (Section 7.1).
+
+"A precise query answer might be undesirable ... if a query depended
+upon data arriving on an extremely slow stream, and an approximate but
+fast query answer was preferable to one that was precise but slow. ...
+If tuples must be dropped, QoS specifications can be used to determine
+which and how many."
+
+Sweeps the shed fraction on a windowed aggregate and reports the
+latency gained against the precision lost, scoring both with their QoS
+graphs — the continuum of acceptable answers made quantitative.
+"""
+
+import random
+
+import pytest
+
+from repro.core.builder import QueryBuilder
+from repro.core.engine import AuroraEngine
+from repro.core.precision import measure_deviation, precision_qos, precision_utility
+from repro.core.qos import latency_qos
+from repro.core.tuples import make_stream
+
+N_TUPLES = 1200
+
+
+def aggregate_query():
+    return (
+        QueryBuilder("totals")
+        .source("src")
+        .tumble("sum", by=("g",), value="v", mode="count", window_size=20, cost=0.004)
+        .sink("agg")
+        .build()
+    )
+
+
+def run_with_drop(rows, drop, seed=5):
+    rng = random.Random(seed)
+    kept = [r for r in rows if rng.random() >= drop]
+    engine = AuroraEngine(aggregate_query(), scheduling_overhead=0.0)
+    engine.push_many("src", make_stream(kept, spacing=0.0))
+    engine.run_until_idle()
+    engine.flush()
+    return engine
+
+
+def test_a05_precision_latency_continuum(benchmark):
+    rng = random.Random(11)
+    rows = [{"g": i % 5, "v": rng.randrange(100)} for i in range(N_TUPLES)]
+
+    precise_engine = run_with_drop(rows, 0.0)
+    precise = precise_engine.outputs["agg"]
+    latency_graph = latency_qos(good_until=2.0, zero_at=8.0)
+    precision_graph = precision_qos(tolerable=0.05, zero_at=1.0)
+
+    print("\nA5: shedding fraction vs latency and precision utility")
+    print("  drop   virtual time   deviation   latency-U   precision-U")
+    deviations = []
+    for drop in (0.0, 0.25, 0.5, 0.75):
+        engine = run_with_drop(rows, drop)
+        report = measure_deviation(precise, engine.outputs["agg"], ("g",))
+        lat_u = latency_graph(engine.clock)
+        prec_u = precision_utility(report, precision_graph)
+        deviations.append(report.deviation)
+        print(f"  {drop:4.2f}   {engine.clock:10.3f}s   {report.deviation:9.3f} "
+              f"{lat_u:11.2f} {prec_u:13.2f}")
+
+    # The continuum: deviation grows monotonically with shedding...
+    assert deviations == sorted(deviations)
+    assert deviations[0] == 0.0
+    # ...while processing time shrinks proportionally.
+    assert run_with_drop(rows, 0.75).clock < 0.5 * precise_engine.clock
+
+    benchmark.pedantic(run_with_drop, args=(rows, 0.5), rounds=1, iterations=1)

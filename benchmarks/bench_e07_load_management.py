@@ -1,0 +1,83 @@
+"""E7 — Section 5.2 / 3.1: decentralized load management under spikes.
+
+"To adequately address the performance needs of stream-based
+applications under time varying, unpredictable input rates, a
+multi-node data stream processing system must be able to dynamically
+adjust the allocation of processing among the participant nodes."
+
+Bursty input overloads a single node; the pairwise load-share daemons
+slide/split boxes onto idle neighbors.  Compare output latency and
+queue backlogs with and without the daemons.
+"""
+
+from repro.core.operators.map import Map
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.distributed.daemon import start_daemons
+from repro.distributed.policy import Thresholds
+from repro.distributed.system import AuroraStarSystem
+from repro.workloads.generators import BurstySource
+
+N_PIPELINES = 6
+DURATION = 3.0
+
+
+def build_system() -> AuroraStarSystem:
+    net = QueryNetwork()
+    for i in range(N_PIPELINES):
+        net.add_box(f"work{i}", Map(lambda v: v, cost_per_tuple=0.003))
+        net.connect(f"in:src{i}", f"work{i}")
+        net.connect(f"work{i}", f"out:sink{i}")
+    system = AuroraStarSystem(net)
+    for node in ("n1", "n2", "n3"):
+        system.add_node(node)
+    system.deploy_all_on("n1")
+    return system
+
+
+def workload(i: int):
+    source = BurstySource(
+        base_rate=30.0, burst_rate=180.0, period=1.5, duty=0.4,
+        make_row=lambda j: {"A": j}, seed=100 + i,
+    )
+    return source.generate(DURATION)
+
+
+def drive(managed: bool):
+    system = build_system()
+    daemons = None
+    if managed:
+        daemons = start_daemons(
+            system,
+            period=0.2,
+            thresholds=Thresholds(high_water=0.85, low_water=0.5, cooldown=0.3),
+            allow_split=False,
+        )
+    for i in range(N_PIPELINES):
+        system.schedule_source(f"src{i}", workload(i))
+    system.run(until=DURATION + 2.0)
+    latencies = [x for xs in system.output_latencies.values() for x in xs]
+    mean_latency = sum(latencies) / len(latencies) if latencies else float("inf")
+    return system, daemons, mean_latency
+
+
+def test_e07_dynamic_vs_static(benchmark):
+    static_system, _none, static_latency = drive(managed=False)
+    managed_system, daemons, managed_latency = benchmark.pedantic(
+        drive, args=(True,), rounds=1, iterations=1
+    )
+
+    moves = [m for d in daemons.values() for m in d.moves]
+    print("\nE7: bursty load, static placement vs load-share daemons")
+    print(f"  static : mean latency {static_latency * 1000:8.1f} ms, "
+          f"utilization {static_system.node_utilizations()}")
+    print(f"  managed: mean latency {managed_latency * 1000:8.1f} ms, "
+          f"utilization {managed_system.node_utilizations()}")
+    print(f"  moves: {[(round(t, 2), kind, box, dst) for t, kind, box, dst in moves]}")
+    print(f"  control messages: {managed_system.control_messages}")
+
+    assert moves, "daemons should have redistributed load"
+    assert managed_latency < static_latency
+    # Work ends up on more than one node.
+    used = [n for n, u in managed_system.node_utilizations().items() if u > 0.05]
+    assert len(used) >= 2

@@ -1,0 +1,87 @@
+"""E8 — Figure 8 / Sections 6.2-6.3: k-safety under server failures.
+
+"We say that a distributed stream processing system is k-safe if the
+failure of any k servers does not result in any message losses."
+
+Failure-injection matrix over a 3-server pipeline: for k in {1, 2} and
+failure sets of size 1 and 2, measure lost messages, replayed tuples
+and truncation overhead.  The paper's claim: zero loss iff the failure
+count is at most k.
+"""
+
+from repro.ha.chain import ServerChain, StatelessOp, WindowOp
+from repro.ha.recovery import run_failure_experiment
+
+N_TUPLES = 80
+FAIL_AT = 40
+
+
+def build_chain_factory(k: int):
+    def build() -> ServerChain:
+        chain = ServerChain(k=k)
+        chain.add_source("src")
+        chain.add_server("s1", [StatelessOp(lambda v: v * 2)])
+        chain.add_server("s2", [WindowOp(7, sum)])
+        chain.add_server("s3", [StatelessOp(lambda v: v)])
+        chain.connect("src", "s1")
+        chain.connect("s1", "s2")
+        chain.connect("s2", "s3")
+        return chain
+    return build
+
+
+def run_case(k: int, fail_servers: list[str]):
+    return run_failure_experiment(
+        build_chain_factory(k),
+        n_tuples=N_TUPLES,
+        fail_at=FAIL_AT,
+        fail_servers=fail_servers,
+        flow_every=10,
+    )
+
+
+def test_e08_ksafety_matrix(benchmark):
+    cases = [
+        (1, ["s1"]), (1, ["s2"]), (1, ["s3"]),
+        (1, ["s1", "s2"]),
+        (2, ["s1", "s2"]), (2, ["s2", "s3"]),
+    ]
+    print("\nE8: k-safety failure matrix (80 tuples, failure at #40)")
+    print("  k  failures      lost  replayed  peak log  flow+ack msgs")
+    for k, servers in cases:
+        result = run_case(k, servers)
+        overhead = result.flow_messages + result.ack_messages
+        print(f"  {k}  {','.join(servers):12s} {result.lost_messages:5d} "
+              f"{result.recovery.tuples_replayed:9d} {result.peak_log_size:9d} "
+              f"{overhead:9d}")
+        if len(servers) <= k:
+            assert result.lost_messages == 0, (k, servers)
+        else:
+            assert result.lost_messages > 0, (k, servers)
+
+    benchmark(run_case, 1, ["s2"])
+
+
+def test_e08_truncation_lag_tradeoff(benchmark):
+    print("\nE8b: flow-round frequency vs retained log and recovery work (k=1)")
+    print("  flow_every  peak log  replayed on failure")
+    previous_peak = None
+    for flow_every in (5, 20, 0):
+        result = run_case_with_flow(flow_every)
+        label = flow_every if flow_every else "never"
+        print(f"  {label!s:10} {result.peak_log_size:9d} "
+              f"{result.recovery.tuples_replayed:9d}")
+        if previous_peak is not None:
+            assert result.peak_log_size >= previous_peak
+        previous_peak = result.peak_log_size
+    benchmark(run_case_with_flow, 10)
+
+
+def run_case_with_flow(flow_every: int):
+    return run_failure_experiment(
+        build_chain_factory(1),
+        n_tuples=N_TUPLES,
+        fail_at=60,
+        fail_servers=["s2"],
+        flow_every=flow_every,
+    )

@@ -1,0 +1,94 @@
+"""E9 — Section 6.4: recovery time vs run-time overhead.
+
+"Hence, by adding virtual machines to the high-availability algorithms,
+we can tune the algorithms to any desired tradeoff between recovery
+time and run time overhead."
+
+The series: upstream backup (few run-time messages, most redone work),
+K virtual machines for K in {1, 2, 4, 8} (replication messages grow
+linearly in K, redone work shrinks), and the process-pair baseline
+(one checkpoint per message — "overwhelmingly more expensive" — but
+near-zero redone work).
+"""
+
+from repro.ha.chain import HATuple, ServerChain, StatelessOp, WindowOp
+from repro.ha.flow import FlowProtocol
+from repro.ha.process_pair import ProcessPairServer
+from repro.ha.virtual_machines import VirtualMachineChain, partition_ops
+
+N_TUPLES = 45   # leaves a partial window open (45 % 6 == 3)
+N_BOXES = 8
+WINDOW = 6
+
+
+def make_ops():
+    ops = []
+    for i in range(N_BOXES):
+        if i == N_BOXES // 2:
+            ops.append(WindowOp(WINDOW, sum))
+        else:
+            ops.append(StatelessOp(lambda v: v))
+    return ops
+
+
+def upstream_backup_point():
+    """Overhead/recovery of the plain upstream-backup scheme."""
+    chain = ServerChain(k=1)
+    chain.add_source("src")
+    chain.add_server("victim", make_ops())
+    chain.add_server("downstream", [StatelessOp(lambda v: v)])
+    chain.connect("src", "victim")
+    chain.connect("victim", "downstream")
+    protocol = FlowProtocol(chain)
+    for i in range(N_TUPLES):
+        chain.push("src", i)
+        chain.pump()
+        if (i + 1) % 10 == 0:
+            protocol.round()
+    overhead = chain.flow_messages + chain.ack_messages
+    # Recovery replays the source's retained log through all N boxes.
+    recovery_work = chain.sources["src"].log_size() * N_BOXES
+    return overhead, recovery_work
+
+
+def vm_point(k: int):
+    vm = VirtualMachineChain(partition_ops(make_ops(), k))
+    for i in range(N_TUPLES):
+        vm.push(HATuple(1, {"src": i}))
+    return vm.replication_messages, vm.recovery_work()
+
+
+def process_pair_point():
+    server = ProcessPairServer("pp", make_ops())
+    for i in range(N_TUPLES):
+        server.ingest(HATuple(1, {"src": i}), sender="src")
+    server.fail()
+    lost_messages = server.failover()
+    return server.checkpoint_messages, lost_messages * N_BOXES
+
+
+def test_e09_spectrum(benchmark):
+    rows = [("upstream backup", *upstream_backup_point())]
+    for k in (1, 2, 4, 8):
+        rows.append((f"K={k} virtual machines", *vm_point(k)))
+    rows.append(("process pair", *process_pair_point()))
+
+    print(f"\nE9: recovery/overhead spectrum ({N_TUPLES} tuples, "
+          f"{N_BOXES}-box server, window {WINDOW})")
+    print("  scheme                  run-time msgs   redone work units")
+    for name, overhead, work in rows:
+        print(f"  {name:22s} {overhead:13d}   {work:13.0f}")
+
+    overheads = [r[1] for r in rows]
+    works = [r[2] for r in rows]
+    # Endpoints of the paper's spectrum:
+    assert overheads[0] == min(overheads), "upstream backup is cheapest at run time"
+    assert works[-1] == min(works), "process pair redoes the least work"
+    assert works[0] == max(works), "upstream backup redoes the most work"
+    # VM replication messages grow with K.
+    vm_overheads = overheads[1:-1]
+    assert vm_overheads == sorted(vm_overheads)
+    # Finer VMs redo less work than coarse ones.
+    assert works[4] < works[1]
+
+    benchmark(vm_point, 4)

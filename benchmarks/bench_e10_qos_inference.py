@@ -1,0 +1,77 @@
+"""E10 — Figure 9 / Section 7.1: inferring QoS at internal nodes.
+
+"The QoS specified at the output node S3 needs to be pushed inside the
+network, to the outputs of S1 and S2, so that these internal nodes can
+make local resource management decisions. ... This simple technique can
+be applied across an arbitrary number of Aurora boxes to compute an
+estimated latency graph for any arc in the system."
+
+Run a chain, measure per-box times, infer the internal specs, and check
+the estimated latency graph against the *measured* downstream delay at
+every box.
+"""
+
+import pytest
+
+from repro.core.engine import AuroraEngine
+from repro.core.operators.map import Map
+from repro.core.qos import QoSSpec, latency_qos
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.distributed.qos_inference import QoSInference
+
+COSTS = [0.002, 0.008, 0.004, 0.001]
+
+
+def build_chain():
+    net = QueryNetwork()
+    previous = "in:src"
+    for i, cost in enumerate(COSTS):
+        net.add_box(f"s{i}", Map(lambda v: v, cost_per_tuple=cost))
+        net.connect(previous, f"s{i}")
+        previous = f"s{i}"
+    net.connect(previous, "out:result")
+    return net
+
+
+def run_and_infer():
+    net = build_chain()
+    engine = AuroraEngine(net, scheduling_overhead=0.0001, train_size=5)
+    engine.push_many("src", make_stream([{"A": i} for i in range(500)], spacing=0.0))
+    engine.run_until_idle()
+    spec = QoSSpec(latency=latency_qos(good_until=0.5, zero_at=1.0))
+    inference = QoSInference(net, {"result": spec}, use_measured=True)
+    return net, engine, spec, inference
+
+
+def test_e10_latency_graph_accuracy(benchmark):
+    net, engine, spec, inference = benchmark.pedantic(
+        run_and_infer, rounds=1, iterations=1
+    )
+
+    measured_total = engine.qos_monitor.mean_latency("result")
+    print("\nE10: inferred downstream time per box vs measured structure")
+    print("  box   T_B (measured)   downstream time   inferred Q_i knee")
+    cumulative = 0.0
+    for i in reversed(range(len(COSTS))):
+        box = net.boxes[f"s{i}"]
+        downstream = inference.downstream_time[f"s{i}"]["result"]
+        budget = inference.latency_budget(f"s{i}", "result", utility_floor=1.0)
+        print(f"  s{i}    {box.average_time:12.5f}   {downstream:15.5f}   "
+              f"{budget:12.5f}")
+        cumulative += box.average_time
+        # The inference accumulates exactly the measured per-box times.
+        assert downstream == pytest.approx(cumulative, rel=1e-6)
+
+    # The whole-chain estimate matches the true end-to-end latency to
+    # within queueing noise.
+    estimated = inference.downstream_time["s0"]["result"]
+    print(f"  estimated end-to-end {estimated:.5f}s, "
+          f"measured mean latency {measured_total:.5f}s")
+    assert estimated == pytest.approx(measured_total, rel=0.5)
+
+    # Q_i(t) = Q_o(t + sum of downstream T_B): utility agreement.
+    for t in (0.0, 0.2, 0.4, 0.6):
+        inferred = inference.spec_at("s0", "result").latency(t)
+        direct = spec.latency(t + estimated)
+        assert inferred == pytest.approx(direct, abs=1e-9)

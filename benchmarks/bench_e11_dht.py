@@ -1,0 +1,91 @@
+"""E11 — Section 4.1: the DHT-backed inter-participant catalog.
+
+"However, they all efficiently locate nodes for any key-value binding,
+and scale with the number of nodes and the number of objects in the
+table."
+
+Series: Chord mean lookup hops vs ring size (should track O(log n)),
+and consistent-hashing key balance across nodes.
+"""
+
+import math
+
+from repro.network.dht import ChordRing, ConsistentHashRing
+from repro.network.lhstar import LHStarClient, LHStarFile
+
+N_KEYS = 2000
+
+
+def chord_mean_hops(n_nodes: int) -> float:
+    ring = ChordRing(m=20)
+    for i in range(n_nodes):
+        ring.add_node(f"node{i}")
+    for i in range(N_KEYS):
+        ring.lookup(f"participant{i % 50}/stream{i}", start_node=f"node{i % n_nodes}")
+    return ring.mean_hops()
+
+
+def test_e11_chord_hops_scale_logarithmically(benchmark):
+    print("\nE11a: Chord lookup cost vs ring size")
+    print("  nodes   mean hops   log2(n)")
+    hops_by_n = {}
+    for n in (8, 32, 128, 512):
+        hops = chord_mean_hops(n)
+        hops_by_n[n] = hops
+        print(f"  {n:5d}   {hops:9.2f}   {math.log2(n):7.2f}")
+        assert hops <= 2.0 * math.log2(n)
+
+    # 64x more nodes must cost far less than 64x more hops (O(log n)).
+    assert hops_by_n[512] < hops_by_n[8] * 8
+
+    benchmark(chord_mean_hops, 64)
+
+
+def test_e11_consistent_hashing_balance(benchmark):
+    def key_balance(replicas: int) -> float:
+        ring = ConsistentHashRing(replicas=replicas)
+        for i in range(16):
+            ring.add_node(f"node{i}")
+        counts = ring.key_distribution([f"key{i}" for i in range(N_KEYS)])
+        mean = N_KEYS / 16
+        return max(counts.values()) / mean
+
+    print("\nE11b: consistent hashing load balance (16 nodes, 2000 keys)")
+    print("  virtual nodes   max/mean load")
+    previous = None
+    for replicas in (1, 16, 128):
+        imbalance = key_balance(replicas)
+        print(f"  {replicas:13d}   {imbalance:11.2f}")
+        if previous is not None:
+            assert imbalance <= previous + 0.25  # more replicas -> smoother
+        previous = imbalance
+    assert key_balance(128) < 1.6
+
+    benchmark(key_balance, 64)
+
+
+def lhstar_run(n_keys: int):
+    file = LHStarFile(bucket_capacity=8)
+    for i in range(n_keys):
+        file.insert(f"participant{i % 50}/stream{i}", i)
+    client = LHStarClient(file)  # maximally stale image
+    worst = 0
+    for i in range(n_keys):
+        _value, hops = client.lookup(f"participant{i % 50}/stream{i}")
+        worst = max(worst, hops)
+    return file, client, worst
+
+
+def test_e11_lhstar_bounded_forwarding(benchmark):
+    """The paper's second DHT citation: LH* keeps client misaddressing
+    to at most two forwardings, independent of file size."""
+    print("\nE11c: LH* forwarding cost vs file size (stale client image)")
+    print("  keys   buckets   mean fwd   worst fwd")
+    for n_keys in (200, 1000, 4000):
+        file, client, worst = lhstar_run(n_keys)
+        print(f"  {n_keys:5d} {file.n_buckets:8d} {client.mean_forwardings():9.2f} "
+              f"{worst:9d}")
+        assert worst <= 2  # the classic LH* bound
+        assert client.mean_forwardings() < 2.0
+
+    benchmark(lhstar_run, 1000)

@@ -1,0 +1,101 @@
+"""E13 — Sections 3.2 / 7.2: the Medusa economy anneals.
+
+"Our hope is that such contracts (mostly bilateral) will allow the
+system to anneal to a state where the economy is stable, and help
+derive a practical solution to the computationally intractable general
+partitioning problem of placing query operators on to nodes."
+
+Start with a star-shaped placement (everything on one overloaded
+participant) and let movement-contract oracles negotiate.  Series:
+per-round load imbalance and profits; the allocation must settle, load
+variance must fall, and interior participants must end profitable.
+"""
+
+import statistics
+
+from repro.medusa.federation import FederatedQuery, Federation, QueryStage
+from repro.medusa.oracle import make_movement_contract, run_market
+from repro.medusa.participant import Participant
+
+N_FIRMS = 3
+ROUNDS = 12
+
+
+def build() -> tuple[Federation, list]:
+    fed = Federation()
+    fed.add_participant(Participant("source", kind="source", capacity=1e9, unit_cost=0.0))
+    fed.add_participant(
+        Participant("user", kind="sink", capacity=1e9, unit_cost=0.0), balance=100_000.0
+    )
+    for i in range(1, N_FIRMS + 1):
+        firm = Participant(f"firm{i}", capacity=140.0, unit_cost=0.01,
+                           congestion_penalty=50.0)
+        firm.offer_operator("op")
+        firm.authorize("firm1")
+        fed.add_participant(firm)
+
+    queries = []
+    for q in range(3):
+        query = FederatedQuery(
+            name=f"q{q}",
+            owner="firm1",
+            source="source",
+            source_stream=f"source/s{q}",
+            rate=60.0,
+            source_value=0.01,
+            stages=[
+                QueryStage(f"stage{q}a", work_per_message=1.0, selectivity=0.5,
+                           value_added=0.05, template="op"),
+                QueryStage(f"stage{q}b", work_per_message=2.0, selectivity=0.2,
+                           value_added=0.6, template="op"),
+            ],
+            sink="user",
+        )
+        fed.add_query(query)
+        for stage in query.stages:
+            fed.assign_stage(query.name, stage.name, "firm1")
+        queries.append(query)
+
+    contracts = []
+    for query in queries:
+        for stage in query.stages:
+            for other in range(2, N_FIRMS + 1):
+                contracts.append(
+                    make_movement_contract(fed, query.name, stage.name,
+                                           "firm1", f"firm{other}")
+                )
+    return fed, contracts
+
+
+def firm_loads(snapshot) -> list[float]:
+    return [v for k, v in snapshot["load"].items() if k.startswith("firm")]
+
+
+def test_e13_market_anneals(benchmark):
+    fed, contracts = build()
+    result = benchmark.pedantic(
+        run_market, args=(fed, contracts, ROUNDS), rounds=1, iterations=1
+    )
+
+    first, last = result["history"][0], result["history"][-1]
+    var_first = statistics.pvariance(firm_loads(first))
+    var_last = statistics.pvariance(firm_loads(last))
+
+    print("\nE13: annealing of the agoric load market (3 firms, 6 stages)")
+    print(f"  switches: {result['switches']}, settled after round "
+          f"{result['settled_at']}")
+    print(f"  firm load, round 1 : "
+          f"{[round(x, 2) for x in firm_loads(first)]} (variance {var_first:.3f})")
+    print(f"  firm load, round {ROUNDS}: "
+          f"{[round(x, 2) for x in firm_loads(last)]} (variance {var_last:.3f})")
+    print("  final per-round profits: "
+          f"{ {k: round(v, 2) for k, v in last['profits'].items()} }")
+
+    assert result["settled_at"] is not None, "the market should stabilize"
+    assert result["switches"] >= 2, "load must actually move"
+    assert var_last < var_first, "load imbalance must fall"
+    for name, profit in last["profits"].items():
+        if name.startswith("firm"):
+            assert profit > 0.0, f"interior participant {name} must profit"
+    # The ledger conserves money.
+    assert abs(fed.economy.total_balance() - 100_000.0) < 1e-6

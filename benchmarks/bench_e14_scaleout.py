@@ -1,0 +1,70 @@
+"""E14 — Sections 1 / 3: Aurora* scale-out.
+
+"To cope with time-varying load spikes and changing demand, many
+servers would be brought to bear on the problem."  A partitionable
+query network (8 independent per-stream pipelines) is deployed on 1, 2,
+4 and 8 nodes; virtual completion time for a fixed workload should fall
+near-linearly until the per-node work is exhausted.
+"""
+
+from repro.core.operators.filter import Filter
+from repro.core.operators.tumble import Tumble
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.distributed.system import AuroraStarSystem
+
+N_PIPELINES = 8
+N_TUPLES = 150
+
+
+def build_network() -> QueryNetwork:
+    net = QueryNetwork()
+    for i in range(N_PIPELINES):
+        net.add_box(f"f{i}", Filter(lambda t: t["v"] >= 0, cost_per_tuple=0.002))
+        net.add_box(
+            f"t{i}",
+            Tumble("sum", groupby=("g",), value_attr="v",
+                   mode="count", window_size=5, cost_per_tuple=0.004),
+        )
+        net.connect(f"in:src{i}", f"f{i}")
+        net.connect(f"f{i}", f"t{i}")
+        net.connect(f"t{i}", f"out:sink{i}")
+    return net
+
+
+def drive(n_nodes: int) -> float:
+    system = AuroraStarSystem(build_network())
+    for n in range(n_nodes):
+        system.add_node(f"node{n}")
+    placement = {}
+    for i in range(N_PIPELINES):
+        node = f"node{i % n_nodes}"
+        placement[f"f{i}"] = node
+        placement[f"t{i}"] = node
+    system.deploy(placement)
+    for i in range(N_PIPELINES):
+        stream = make_stream(
+            [{"g": j % 4, "v": j} for j in range(N_TUPLES)], spacing=0.0001
+        )
+        system.schedule_source(f"src{i}", stream)
+    system.run()
+    assert system.tuples_delivered > 0
+    return system.sim.now
+
+
+def test_e14_throughput_scales_with_nodes(benchmark):
+    print("\nE14: fixed workload drain time vs node count "
+          f"({N_PIPELINES} pipelines x {N_TUPLES} tuples)")
+    print("  nodes   drain time   speedup vs 1")
+    times = {}
+    for n in (1, 2, 4, 8):
+        times[n] = drive(n)
+        print(f"  {n:5d}   {times[n]:9.3f}s   {times[1] / times[n]:7.2f}x")
+
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    assert times[8] <= times[4] * 1.05
+    # Near-linear up to 4 nodes for this embarrassingly parallel plan.
+    assert times[1] / times[4] > 2.5
+
+    benchmark(drive, 4)

@@ -1,0 +1,101 @@
+"""E15 — Section 4.4: remote definition as content customization.
+
+"A receiving participant interested only in knowing when a specific
+stock passes above a certain threshold would normally have to receive
+the complete stream and would have to apply the filter itself.  With
+remote definition, it can instead remotely define the filter, and
+receive directly the customized content."
+
+Sweep the filter selectivity and measure the boundary traffic with the
+filter at the receiver (baseline) vs remotely defined at the sender;
+also verifies the authorization rules gate the optimization.
+"""
+
+import pytest
+
+from repro.medusa.federation import FederatedQuery, Federation, QueryStage
+from repro.medusa.participant import Participant
+from repro.medusa.remote import (
+    RemoteDefinitionError,
+    content_customization_savings,
+    remote_define,
+)
+
+RATE = 500.0
+MESSAGE_BYTES = 80
+
+
+def build_fed() -> Federation:
+    fed = Federation()
+    exchange = Participant("exchange", kind="source", capacity=1e9, unit_cost=0.001)
+    exchange.offer_operator("filter")
+    exchange.authorize("subscriber")
+    fed.add_participant(exchange)
+    fed.add_participant(
+        Participant("subscriber", capacity=1e6, unit_cost=0.001), balance=1000.0
+    )
+    fed.add_participant(
+        Participant("user", kind="sink", capacity=1e9, unit_cost=0.0), balance=1000.0
+    )
+    return fed
+
+
+def boundary_messages(fed: Federation, selectivity: float, filter_at: str) -> float:
+    query = FederatedQuery(
+        name=f"alerts-{filter_at}-{selectivity}",
+        owner="subscriber",
+        source="exchange",
+        source_stream="exchange/quotes",
+        rate=RATE,
+        source_value=0.001,
+        stages=[
+            QueryStage("threshold", work_per_message=0.1, selectivity=selectivity,
+                       value_added=0.01, template="filter"),
+        ],
+        sink="user",
+    )
+    fed.add_query(query)
+    fed.assign_stage(query.name, "threshold", filter_at)
+    for seller, buyer, messages, _price in fed.boundaries(query):
+        if seller == "exchange":
+            return messages
+    return 0.0  # filter at the exchange and subscriber == buyer boundary
+
+
+def test_e15_customized_content_cuts_traffic(benchmark):
+    print("\nE15: exchange -> subscriber boundary traffic "
+          f"({RATE:.0f} quotes/round, {MESSAGE_BYTES}B each)")
+    print("  selectivity   receiver-side   sender-side   bytes saved")
+    for selectivity in (0.01, 0.1, 0.5):
+        fed = build_fed()
+        at_receiver = boundary_messages(fed, selectivity, "subscriber")
+        at_sender = boundary_messages(fed, selectivity, "exchange")
+        saved = content_customization_savings(RATE, selectivity, MESSAGE_BYTES)
+        print(f"  {selectivity:11.2f} {at_receiver:13.0f} {at_sender:13.0f} "
+              f"{saved:12.0f}")
+        assert at_receiver == RATE
+        assert at_sender == pytest.approx(RATE * selectivity)
+        assert saved == pytest.approx((at_receiver - at_sender) * MESSAGE_BYTES)
+
+    benchmark.pedantic(
+        lambda: boundary_messages(build_fed(), 0.1, "exchange"),
+        rounds=3, iterations=1,
+    )
+
+
+def test_e15_authorization_gates_remote_definition(benchmark):
+    fed = build_fed()
+    exchange = fed.participant("exchange")
+
+    op = remote_define(exchange, "subscriber", "filter")
+    assert op.host == "exchange"
+
+    with pytest.raises(RemoteDefinitionError):
+        remote_define(exchange, "stranger", "filter")
+    with pytest.raises(RemoteDefinitionError):
+        remote_define(exchange, "subscriber", "not-offered")
+
+    benchmark.pedantic(
+        lambda: remote_define(exchange, "subscriber", "filter"),
+        rounds=3, iterations=1,
+    )

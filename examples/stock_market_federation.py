@@ -1,0 +1,105 @@
+"""A Medusa federation trading stock-quote streams (Sections 3.2, 7.2).
+
+Three autonomous participants: an exchange (stream source), two
+analytics firms (interior, profit-making) and a trading desk (sink).
+The analytics pipeline — a symbol filter and a VWAP-style aggregate —
+is initially placed entirely on firm A via remote definition.  Under
+load, firm A's oracle negotiates a movement contract with firm B and
+offloads the expensive stage; the market then anneals to a stable,
+profitable allocation.
+
+Also demonstrates Section 4.4's content customization: remotely
+defining the filter at the exchange slashes the bytes crossing the
+participant boundary.
+
+Run:  python examples/stock_market_federation.py
+"""
+
+from repro.medusa.federation import FederatedQuery, Federation, QueryStage
+from repro.medusa.oracle import make_movement_contract, run_market
+from repro.medusa.participant import Participant
+from repro.medusa.remote import content_customization_savings, remote_define
+
+
+def build_federation() -> Federation:
+    fed = Federation()
+    fed.add_participant(
+        Participant("exchange", kind="source", capacity=1e9, unit_cost=0.0)
+    )
+    fed.add_participant(
+        Participant("trading-desk", kind="sink", capacity=1e9, unit_cost=0.0),
+        balance=50_000.0,
+    )
+    for name in ("firm-a", "firm-b"):
+        firm = Participant(
+            name, capacity=150.0, unit_cost=0.01, congestion_penalty=50.0
+        )
+        firm.offer_operator("filter")
+        firm.offer_operator("vwap")
+        firm.authorize("firm-a")  # firm-a owns the query
+        fed.add_participant(firm)
+    return fed
+
+
+def build_query() -> FederatedQuery:
+    return FederatedQuery(
+        name="tech-vwap",
+        owner="firm-a",
+        source="exchange",
+        source_stream="exchange/quotes",
+        rate=120.0,                 # quotes per market round
+        source_value=0.005,         # dollars per raw quote
+        stages=[
+            QueryStage("tech-only", work_per_message=0.5, selectivity=0.3,
+                       value_added=0.04, template="filter"),
+            QueryStage("vwap", work_per_message=4.0, selectivity=0.05,
+                       value_added=2.0, template="vwap"),
+        ],
+        sink="trading-desk",
+    )
+
+
+def main() -> None:
+    fed = build_federation()
+    query = fed.add_query(build_query())
+    fed.assign_stage("tech-vwap", "tech-only", "firm-a")
+    fed.assign_stage("tech-vwap", "vwap", "firm-a")
+
+    print("initial (star-shaped) placement:", dict(query.assignment))
+    print("firm-a offered work per round:",
+          sum(f.messages_in * f.stage.work_per_message for f in query.flows()),
+          "units against capacity 150")
+
+    contracts = [
+        make_movement_contract(fed, "tech-vwap", "tech-only", "firm-a", "firm-b"),
+        make_movement_contract(fed, "tech-vwap", "vwap", "firm-a", "firm-b"),
+    ]
+    result = run_market(fed, contracts, rounds=8)
+
+    print(f"\nmarket ran 8 rounds, {result['switches']} plan switch(es), "
+          f"settled after round {result['settled_at']}")
+    print("final placement:", dict(query.assignment))
+
+    last = result["history"][-1]
+    print("\nper-round outcome after annealing:")
+    for name in ("exchange", "firm-a", "firm-b", "trading-desk"):
+        profit = last["profits"][name]
+        load = last["load"][name]
+        print(f"  {name:14s} profit ${profit:8.2f}   load {load:5.2f}")
+    print("balances:", {n: round(fed.economy.balance(n), 2)
+                         for n in fed.economy.accounts()})
+
+    # -- remote definition as content customization (Section 4.4) ---------
+    exchange = fed.participant("exchange")
+    exchange.offer_operator("filter")
+    exchange.authorize("firm-a")
+    op = remote_define(exchange, "firm-a", "filter")
+    saved = content_customization_savings(rate=120.0, selectivity=0.3,
+                                          message_bytes=64)
+    print(f"\nremote definition: instantiated {op.instance!r}")
+    print(f"filtering at the exchange saves {saved:.0f} bytes per round "
+          "on the exchange -> firm-a boundary")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro: a reproduction of "Scalable Distributed Stream Processing" (CIDR 2003).
+
+The package mirrors the paper's architecture:
+
+* :mod:`repro.core` — Aurora, the centralized stream processor
+  (Section 2): operators, query networks, scheduler, QoS, shedding.
+* :mod:`repro.sim` — deterministic discrete-event simulation substrate
+  (replaces the paper's real deployment).
+* :mod:`repro.network` — the scalable communications infrastructure
+  (Section 4): overlay, naming/catalogs, DHT, multiplexed transport.
+* :mod:`repro.distributed` — Aurora* (Sections 3.1, 5): multi-node
+  operation inside one administrative domain, box sliding/splitting,
+  decentralized load management, QoS inference.
+* :mod:`repro.ha` — high availability (Section 6): k-safety via
+  upstream backup, flow-message truncation, failure recovery, and the
+  process-pair / virtual-machine granularity spectrum.
+* :mod:`repro.medusa` — federated operation across administrative
+  domains (Sections 3.2, 7.2): participants, the agoric economy,
+  content/suggested/movement contracts, remote definition.
+* :mod:`repro.workloads` — synthetic stream sources used by examples
+  and benchmarks.
+"""
+
+from repro.core import (
+    AuroraEngine,
+    Filter,
+    Join,
+    Map,
+    QoSSpec,
+    QueryNetwork,
+    Resample,
+    Schema,
+    Slide,
+    StreamTuple,
+    Tumble,
+    Union,
+    WSort,
+    XSection,
+    execute,
+    latency_qos,
+    make_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuroraEngine",
+    "Filter",
+    "Join",
+    "Map",
+    "QoSSpec",
+    "QueryNetwork",
+    "Resample",
+    "Schema",
+    "Slide",
+    "StreamTuple",
+    "Tumble",
+    "Union",
+    "WSort",
+    "XSection",
+    "execute",
+    "latency_qos",
+    "make_stream",
+    "__version__",
+]

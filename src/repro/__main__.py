@@ -1,0 +1,68 @@
+"""Command-line entry point: run the bundled demonstrations.
+
+Usage::
+
+    python -m repro                # list available demos
+    python -m repro quickstart     # run one demo
+    python -m repro all            # run every demo in sequence
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
+
+DEMOS = {
+    "quickstart": "quickstart.py",
+    "sensors": "sensor_network_monitoring.py",
+    "federation": "stock_market_federation.py",
+    "fault-tolerance": "fault_tolerant_pipeline.py",
+    "monitoring": "network_monitoring.py",
+}
+
+
+def _run_demo(name: str) -> int:
+    script = _EXAMPLES_DIR / DEMOS[name]
+    if not script.exists():
+        print(f"error: example script {script} not found "
+              "(run from a source checkout)", file=sys.stderr)
+        return 1
+    spec = importlib.util.spec_from_file_location(f"repro_demo_{name}", script)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch ``python -m repro [demo|all]``."""
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("repro — Scalable Distributed Stream Processing (CIDR 2003)")
+        print("\navailable demos:")
+        for name, script in DEMOS.items():
+            print(f"  python -m repro {name:15s} ({script})")
+        print("  python -m repro all")
+        return 0
+    selection = list(DEMOS) if args[0] == "all" else args
+    unknown = [a for a in selection if a not in DEMOS]
+    if unknown:
+        print(f"error: unknown demo(s) {unknown}; known: {sorted(DEMOS)}",
+              file=sys.stderr)
+        return 2
+    for index, name in enumerate(selection):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        print(f">>> demo: {name}\n")
+        status = _run_demo(name)
+        if status:
+            return status
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""Aggregate functions with a split/combine algebra (Sections 2.2, 5.1).
+
+Box splitting (Section 5.1, Figure 6) requires that the aggregate
+function ``agg`` given to a Tumble box have a corresponding
+*combination function* ``combine`` such that for any tuples
+``{x1..xn}`` and any split point ``k``::
+
+    agg({x1..xn}) == combine(agg({x1..xk}), agg({xk+1..xn}))
+
+The paper's examples: if ``agg`` is ``cnt`` then ``combine`` is ``sum``;
+if ``agg`` is ``max`` then ``combine`` is ``max``.  Aggregates without a
+combination function (e.g. a plain average over the raw values) cannot
+be split transparently; :mod:`repro.distributed.splitting` refuses them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class AggregateFunction:
+    """An incremental aggregate.
+
+    Attributes:
+        name: identifier used in emitted result fields and catalogs.
+        initial: zero-argument factory for fresh per-window state.
+        update: ``update(state, value) -> state`` folds one value in.
+        result: ``result(state) -> value`` finalizes a window.
+        combiner_name: name of the aggregate that merges partial
+            *results* of this aggregate, or None if not splittable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial: Callable[[], Any],
+        update: Callable[[Any, Any], Any],
+        result: Callable[[Any], Any],
+        combiner_name: str | None = None,
+    ):
+        self.name = name
+        self.initial = initial
+        self.update = update
+        self.result = result
+        self.combiner_name = combiner_name
+
+    @property
+    def splittable(self) -> bool:
+        """True if a combination function exists (box splitting allowed)."""
+        return self.combiner_name is not None
+
+    def combiner(self) -> "AggregateFunction":
+        """The aggregate applied to partial results after a split.
+
+        Raises:
+            ValueError: if this aggregate has no combination function.
+        """
+        if self.combiner_name is None:
+            raise ValueError(f"aggregate {self.name!r} has no combination function")
+        return get_aggregate(self.combiner_name)
+
+    def apply(self, values: list[Any]) -> Any:
+        """Aggregate a whole list at once (testing/verification helper)."""
+        state = self.initial()
+        for value in values:
+            state = self.update(state, value)
+        return self.result(state)
+
+    def __repr__(self) -> str:
+        return f"AggregateFunction({self.name})"
+
+
+def _make_registry() -> dict[str, AggregateFunction]:
+    def identity(x: Any) -> Any:
+        return x
+
+    registry: dict[str, AggregateFunction] = {}
+
+    registry["cnt"] = AggregateFunction(
+        "cnt",
+        initial=lambda: 0,
+        update=lambda s, _v: s + 1,
+        result=identity,
+        combiner_name="sum",  # paper: "if agg is cnt, combine is sum"
+    )
+    registry["sum"] = AggregateFunction(
+        "sum",
+        initial=lambda: 0,
+        update=lambda s, v: s + v,
+        result=identity,
+        combiner_name="sum",
+    )
+    registry["max"] = AggregateFunction(
+        "max",
+        initial=lambda: None,
+        update=lambda s, v: v if s is None else max(s, v),
+        result=identity,
+        combiner_name="max",  # paper: "if agg is max, then combine is max also"
+    )
+    registry["min"] = AggregateFunction(
+        "min",
+        initial=lambda: None,
+        update=lambda s, v: v if s is None else min(s, v),
+        result=identity,
+        combiner_name="min",
+    )
+    # avg finalizes (sum, cnt) -> sum/cnt.  Its *final* results cannot be
+    # combined without the counts, so it carries no combiner: a Tumble(avg)
+    # box cannot be split transparently (use avg_partial + a Map instead).
+    registry["avg"] = AggregateFunction(
+        "avg",
+        initial=lambda: (0, 0),
+        update=lambda s, v: (s[0] + v, s[1] + 1),
+        result=lambda s: s[0] / s[1] if s[1] else None,
+        combiner_name=None,
+    )
+    # Splittable form of average: emits (sum, cnt) pairs, which the
+    # matching combiner merges component-wise; a downstream Map divides.
+    registry["avg_partial"] = AggregateFunction(
+        "avg_partial",
+        initial=lambda: (0, 0),
+        update=lambda s, v: (s[0] + v, s[1] + 1),
+        result=identity,
+        combiner_name="pair_sum",
+    )
+    registry["pair_sum"] = AggregateFunction(
+        "pair_sum",
+        initial=lambda: (0, 0),
+        update=lambda s, v: (s[0] + v[0], s[1] + v[1]),
+        result=identity,
+        combiner_name="pair_sum",
+    )
+    registry["first"] = AggregateFunction(
+        "first",
+        initial=lambda: None,
+        update=lambda s, v: v if s is None else s,
+        result=identity,
+        combiner_name="first",
+    )
+    registry["last"] = AggregateFunction(
+        "last",
+        initial=lambda: None,
+        update=lambda _s, v: v,
+        result=identity,
+        combiner_name="last",
+    )
+    return registry
+
+
+_REGISTRY = _make_registry()
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Look up a built-in aggregate function by name.
+
+    Raises:
+        KeyError: for unknown names, listing the available ones.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregate {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def register_aggregate(agg: AggregateFunction) -> None:
+    """Register a user-defined aggregate (its combiner must also be registered)."""
+    _REGISTRY[agg.name] = agg
+
+
+def available_aggregates() -> list[str]:
+    """Names of all registered aggregate functions."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,264 @@
+"""A fluent builder compiling declarative queries to boxes and arrows.
+
+Section 2.2: "It would also be possible to allow users to specify
+declarative queries in a language such as SQL (modified to specify
+continuous queries), and then compile these queries into our box and
+arrow representation."
+
+This module is that compiler's front end: a chainable builder that
+assembles a :class:`~repro.core.query.QueryNetwork` from declarative
+steps.  Example::
+
+    net = (
+        QueryBuilder("alerts")
+        .source("readings")
+        .where(lambda t: t["value"] > 20, name="hot")
+        .select(lambda v: {"sensor": v["sensor"], "value": v["value"]})
+        .tumble("avg", by=("sensor",), value="value")
+        .sink("averages")
+        .build()
+    )
+
+Branching (:meth:`fork`), merging (:meth:`union_with`) and joining
+(:meth:`join_with`) cover the full operator set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.operators.filter import Filter
+from repro.core.operators.join import Join
+from repro.core.operators.map import Map
+from repro.core.operators.resample import Resample
+from repro.core.operators.tumble import Tumble
+from repro.core.operators.union import Union
+from repro.core.operators.windows import Slide, XSection
+from repro.core.operators.wsort import WSort
+from repro.core.query import QueryNetwork
+from repro.core.tuples import StreamTuple
+
+
+class BuildError(RuntimeError):
+    """Raised for malformed builder chains."""
+
+
+class QueryBuilder:
+    """Chainable construction of a query network.
+
+    A builder tracks a *cursor*: the endpoint the next step attaches
+    to.  :meth:`source` starts a chain from a named input; every
+    operator step advances the cursor; :meth:`sink` ends a chain at a
+    named output.  :meth:`build` validates and returns the network.
+    """
+
+    def __init__(self, name: str = "query"):
+        self.network = QueryNetwork(name)
+        self._cursor: str | tuple[str, int] | None = None
+        self._box_counter = 0
+        self._built = False
+
+    # -- chain control ---------------------------------------------------------
+
+    def source(self, input_name: str, connection_point: bool = False) -> "QueryBuilder":
+        """Start (or restart) the chain from a named input stream."""
+        self._check_open()
+        if self._cursor is not None:
+            raise BuildError(
+                "previous chain is still open; call .sink(...) or .fork() first"
+            )
+        self._cursor = f"in:{input_name}"
+        self._pending_cp = connection_point
+        return self
+
+    def sink(self, output_name: str) -> "QueryBuilder":
+        """Terminate the current chain at a named output stream."""
+        self._require_cursor()
+        self.network.connect(self._cursor, f"out:{output_name}")
+        self._cursor = None
+        return self
+
+    def fork(self) -> "Cursor":
+        """Capture the current endpoint for later reuse (fan-out).
+
+        The returned :class:`Cursor` can seed further chains via
+        :meth:`resume`; the builder's own cursor stays put, so the next
+        step also reads from the same endpoint (duplicating tuples).
+        """
+        self._require_cursor()
+        return Cursor(self._cursor)
+
+    def resume(self, cursor: "Cursor") -> "QueryBuilder":
+        """Continue building from a previously forked endpoint."""
+        self._check_open()
+        if self._cursor is not None:
+            raise BuildError("close the open chain before resuming a fork")
+        self._cursor = cursor.endpoint
+        return self
+
+    def build(self) -> QueryNetwork:
+        """Validate and return the network (builder becomes inert)."""
+        if self._cursor is not None:
+            raise BuildError("chain left open; call .sink(...) before .build()")
+        self.network.validate()
+        self._built = True
+        return self.network
+
+    # -- operator steps ---------------------------------------------------------
+
+    def where(
+        self,
+        predicate: Callable[[StreamTuple], bool],
+        name: str | None = None,
+        cost: float = 0.001,
+    ) -> "QueryBuilder":
+        """Append a Filter box."""
+        return self._append(Filter(predicate, name=name, cost_per_tuple=cost))
+
+    def select(
+        self,
+        func: Callable[[Mapping[str, Any]], Mapping[str, Any]],
+        name: str | None = None,
+        cost: float = 0.001,
+    ) -> "QueryBuilder":
+        """Append a Map box."""
+        return self._append(Map(func, name=name, cost_per_tuple=cost))
+
+    def tumble(
+        self,
+        agg: str,
+        by: tuple[str, ...],
+        value: str,
+        result: str = "result",
+        mode: str = "run",
+        window_size: int | None = None,
+        cost: float = 0.002,
+    ) -> "QueryBuilder":
+        """Append a Tumble box."""
+        return self._append(
+            Tumble(agg, groupby=by, value_attr=value, result_attr=result,
+                   mode=mode, window_size=window_size, cost_per_tuple=cost)
+        )
+
+    def xsection(
+        self,
+        agg: str,
+        by: tuple[str, ...],
+        value: str,
+        size: int,
+        advance: int | None = None,
+        cost: float = 0.003,
+    ) -> "QueryBuilder":
+        """Append an XSection (overlapping windows) box."""
+        return self._append(
+            XSection(agg, groupby=by, value_attr=value, size=size,
+                     advance=advance, cost_per_tuple=cost)
+        )
+
+    def slide(
+        self,
+        agg: str,
+        by: tuple[str, ...],
+        value: str,
+        size: int,
+        cost: float = 0.003,
+    ) -> "QueryBuilder":
+        """Append a Slide (fully sliding window) box."""
+        return self._append(
+            Slide(agg, groupby=by, value_attr=value, size=size, cost_per_tuple=cost)
+        )
+
+    def order_by(
+        self,
+        *attrs: str,
+        timeout: float = float("inf"),
+        cost: float = 0.002,
+    ) -> "QueryBuilder":
+        """Append a WSort box."""
+        return self._append(WSort(attrs, timeout=timeout, cost_per_tuple=cost))
+
+    def resample(
+        self, value: str, interval: float, cost: float = 0.002
+    ) -> "QueryBuilder":
+        """Append a Resample (interpolation) box."""
+        return self._append(Resample(value, interval=interval, cost_per_tuple=cost))
+
+    def union_with(self, *cursors: "Cursor", cost: float = 0.0005) -> "QueryBuilder":
+        """Merge the current chain with previously forked chains."""
+        self._require_cursor()
+        box_id = self._new_id("union")
+        self.network.add_box(box_id, Union(1 + len(cursors), cost_per_tuple=cost))
+        self._connect_cursor((box_id, 0))
+        for port, cursor in enumerate(cursors, start=1):
+            self.network.connect(cursor.endpoint, (box_id, port))
+        self._cursor = box_id
+        return self
+
+    def join_with(
+        self,
+        cursor: "Cursor",
+        on: str | Callable[[StreamTuple, StreamTuple], bool],
+        window: int = 100,
+        cost: float = 0.005,
+    ) -> "QueryBuilder":
+        """Join the current chain (left) with a forked chain (right).
+
+        ``on`` is either an attribute name (equijoin) or a predicate of
+        (left_tuple, right_tuple).
+        """
+        self._require_cursor()
+        if isinstance(on, str):
+            field = on
+            predicate = lambda a, b: a[field] == b[field]  # noqa: E731
+            pred_name = f"{on} == {on}"
+        else:
+            predicate = on
+            pred_name = getattr(on, "__name__", "p")
+        box_id = self._new_id("join")
+        self.network.add_box(
+            box_id, Join(predicate, window=window, name=pred_name, cost_per_tuple=cost)
+        )
+        self._connect_cursor((box_id, 0))
+        self.network.connect(cursor.endpoint, (box_id, 1))
+        self._cursor = box_id
+        return self
+
+    # -- internals -----------------------------------------------------------------
+
+    def _append(self, operator) -> "QueryBuilder":
+        self._require_cursor()
+        box_id = self._new_id(type(operator).__name__.lower())
+        self.network.add_box(box_id, operator)
+        self._connect_cursor(box_id)
+        self._cursor = box_id
+        return self
+
+    def _connect_cursor(self, target) -> None:
+        connection_point = getattr(self, "_pending_cp", False)
+        self.network.connect(self._cursor, target, connection_point=connection_point)
+        self._pending_cp = False
+
+    def _new_id(self, stem: str) -> str:
+        self._box_counter += 1
+        return f"{stem}_{self._box_counter}"
+
+    def _require_cursor(self) -> None:
+        self._check_open()
+        if self._cursor is None:
+            raise BuildError("no open chain; call .source(...) or .resume(...) first")
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise BuildError("builder already produced its network")
+
+
+class Cursor:
+    """An endpoint captured by :meth:`QueryBuilder.fork`."""
+
+    __slots__ = ("endpoint",)
+
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+
+    def __repr__(self) -> str:
+        return f"Cursor({self.endpoint!r})"

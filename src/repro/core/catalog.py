@@ -1,0 +1,85 @@
+"""Local (per-engine) catalog (Figure 3's "Catalogs").
+
+Holds definitions of schemas, streams, queries and operator boxes for a
+single Aurora engine.  The distributed catalogs of Section 4.1 (intra-
+and inter-participant) live in :mod:`repro.network.catalog`; they
+aggregate these local catalogs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.tuples import Schema
+
+
+class CatalogError(KeyError):
+    """Raised for unknown or duplicate catalog entries."""
+
+
+class LocalCatalog:
+    """Name -> definition maps for one engine.
+
+    Entry kinds: schemas, streams (name -> schema name), queries
+    (name -> QueryNetwork), and free-form metadata for extensions.
+    """
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, Schema] = {}
+        self._streams: dict[str, str] = {}
+        self._queries: dict[str, Any] = {}
+        self._metadata: dict[str, Any] = {}
+
+    # -- schemas -----------------------------------------------------------
+
+    def define_schema(self, name: str, schema: Schema) -> None:
+        if name in self._schemas:
+            raise CatalogError(f"schema {name!r} already defined")
+        self._schemas[name] = schema
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise CatalogError(f"unknown schema {name!r}") from None
+
+    # -- streams -----------------------------------------------------------
+
+    def define_stream(self, name: str, schema_name: str) -> None:
+        if name in self._streams:
+            raise CatalogError(f"stream {name!r} already defined")
+        self.schema(schema_name)  # must exist
+        self._streams[name] = schema_name
+
+    def stream_schema(self, name: str) -> Schema:
+        try:
+            return self.schema(self._streams[name])
+        except KeyError:
+            raise CatalogError(f"unknown stream {name!r}") from None
+
+    def streams(self) -> list[str]:
+        return sorted(self._streams)
+
+    # -- queries -----------------------------------------------------------
+
+    def define_query(self, name: str, network: Any) -> None:
+        if name in self._queries:
+            raise CatalogError(f"query {name!r} already defined")
+        self._queries[name] = network
+
+    def query(self, name: str) -> Any:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise CatalogError(f"unknown query {name!r}") from None
+
+    def queries(self) -> list[str]:
+        return sorted(self._queries)
+
+    # -- metadata ------------------------------------------------------------
+
+    def set_metadata(self, key: str, value: Any) -> None:
+        self._metadata[key] = value
+
+    def metadata(self, key: str, default: Any = None) -> Any:
+        return self._metadata.get(key, default)

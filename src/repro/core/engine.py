@@ -1,0 +1,326 @@
+"""The single-node Aurora run-time (Section 2.3, Figure 3).
+
+Wires together the router, scheduler (with train scheduling), storage
+manager, QoS monitor and load shedder around a query network.  Time is
+virtual: the engine's clock advances by the CPU cost of the work it
+performs (box costs scaled by CPU capacity, scheduling overhead, spill
+I/O), so latency measurements are deterministic.
+
+The engine runs standalone (these semantics are exercised directly by
+tests and example applications) and embedded in a simulated distributed
+node (:mod:`repro.distributed.node`), where the surrounding simulator
+owns the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.catalog import LocalCatalog
+from repro.core.qos import QoSMonitor, QoSSpec
+from repro.core.query import Arc, Box, QueryNetwork
+from repro.core.scheduler import RoundRobinScheduler, Scheduler
+from repro.core.shedder import LoadShedder
+from repro.core.storage import StorageManager
+from repro.core.tuples import StreamTuple
+
+
+class AuroraEngine:
+    """A scheduled, QoS-monitored executor for one query network.
+
+    Args:
+        network: the query network to run (validated on construction).
+        scheduler: box-selection discipline (default round-robin).
+        train_size: max tuples processed per scheduling decision
+            ("how many of the tuples ... waiting in front of a given
+            box to process").
+        push_trains: if True, a train is pushed through downstream
+            boxes within the same scheduling step ("how far to push
+            them toward the output") — Section 2.3's train scheduling.
+        cpu_capacity: CPU seconds of box work completed per virtual
+            second (node speed; 1.0 = costs are wall-clock).
+        scheduling_overhead: virtual seconds charged per scheduling
+            decision (this is what train scheduling amortizes).
+        qos_specs: per-output-stream QoS specifications.
+        storage: storage manager (buffer/spill accounting).
+        shedder: load shedder; None disables shedding.
+        load_window: horizon (virtual seconds) over which queued work is
+            compared against capacity to compute the load factor.
+    """
+
+    def __init__(
+        self,
+        network: QueryNetwork,
+        scheduler: Scheduler | None = None,
+        train_size: int = 10,
+        push_trains: bool = True,
+        cpu_capacity: float = 1.0,
+        scheduling_overhead: float = 0.0005,
+        qos_specs: dict[str, QoSSpec] | None = None,
+        storage: StorageManager | None = None,
+        shedder: LoadShedder | None = None,
+        load_window: float = 1.0,
+    ):
+        network.validate()
+        if train_size < 1:
+            raise ValueError("train_size must be >= 1")
+        if cpu_capacity <= 0:
+            raise ValueError("cpu_capacity must be positive")
+        self.network = network
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.train_size = train_size
+        self.push_trains = push_trains
+        self.cpu_capacity = cpu_capacity
+        self.scheduling_overhead = scheduling_overhead
+        self.qos_monitor = QoSMonitor(qos_specs)
+        self.storage = storage or StorageManager()
+        self.shedder = shedder
+        self.load_window = load_window
+        self.catalog = LocalCatalog()
+
+        self.clock = 0.0
+        self.steps = 0
+        self.tuples_processed = 0
+        self.outputs: dict[str, list[StreamTuple]] = {
+            name: [] for name in network.outputs
+        }
+        self.box_order: list[str] = network.topological_order()
+        self._reach_cache: dict[str, frozenset[str]] = {}
+        self._input_reach_cache: dict[str, frozenset[str]] = {}
+
+    # -- topology caches -----------------------------------------------------
+
+    def invalidate_caches(self) -> None:
+        """Recompute topology-derived state after a network change.
+
+        Load management (Section 5) rewrites the network at run time —
+        box sliding and splitting add/remove boxes — so reachability and
+        scheduling order must be refreshed.
+        """
+        self.box_order = self.network.topological_order()
+        self._reach_cache.clear()
+        self._input_reach_cache.clear()
+        for name in self.network.outputs:
+            self.outputs.setdefault(name, [])
+
+    def outputs_reachable_from(self, box_id: str) -> frozenset[str]:
+        """Output stream names downstream of ``box_id``."""
+        cached = self._reach_cache.get(box_id)
+        if cached is not None:
+            return cached
+        reached: set[str] = set()
+        stack = [box_id]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            box = self.network.boxes[current]
+            for arcs in box.output_arcs.values():
+                for arc in arcs:
+                    kind, ref = arc.target
+                    if kind == "out":
+                        reached.add(str(ref))
+                    else:
+                        stack.append(str(kind))
+        result = frozenset(reached)
+        self._reach_cache[box_id] = result
+        return result
+
+    def outputs_reachable_from_input(self, input_name: str) -> frozenset[str]:
+        """Output stream names downstream of a network input."""
+        cached = self._input_reach_cache.get(input_name)
+        if cached is not None:
+            return cached
+        reached: set[str] = set()
+        for arc in self.network.inputs.get(input_name, []):
+            kind, ref = arc.target
+            if kind == "out":
+                reached.add(str(ref))
+            else:
+                reached |= self.outputs_reachable_from(str(kind))
+        result = frozenset(reached)
+        self._input_reach_cache[input_name] = result
+        return result
+
+    # -- ingestion -------------------------------------------------------------
+
+    def push(self, input_name: str, tup: StreamTuple) -> bool:
+        """Admit one tuple on a named input stream.
+
+        The clock advances to the tuple's timestamp if that is in the
+        future (sources run in real time).  Returns False if the load
+        shedder dropped the tuple.
+        """
+        if input_name not in self.network.inputs:
+            raise KeyError(f"engine network has no input {input_name!r}")
+        self.clock = max(self.clock, tup.timestamp)
+        if self.shedder is not None and not self.shedder.admit(self, input_name):
+            return False
+        for arc in self.network.inputs[input_name]:
+            self._enqueue(arc, tup)
+        return True
+
+    def push_many(self, input_name: str, tuples: Iterable[StreamTuple]) -> int:
+        """Admit a batch; returns the number of tuples admitted."""
+        admitted = 0
+        for tup in tuples:
+            if self.push(input_name, tup):
+                admitted += 1
+        return admitted
+
+    def _enqueue(self, arc: Arc, tup: StreamTuple) -> None:
+        if arc.push(tup):
+            arc.queue_times.append(self.clock)
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> float:
+        """One scheduling decision.  Returns virtual seconds consumed (0 if idle)."""
+        box_id = self.scheduler.choose(self)
+        if box_id is None:
+            return 0.0
+        self.clock += self.scheduling_overhead
+        consumed = self.scheduling_overhead
+        consumed += self._run_train(box_id)
+        if self.push_trains:
+            consumed += self._push_downstream(box_id)
+        io = self.storage.rebalance(self.network)
+        self.clock += io
+        consumed += io
+        self.steps += 1
+        if self.shedder is not None and self.steps % 50 == 0:
+            self.shedder.update(self)
+        return consumed
+
+    def _run_train(self, box_id: str, limit: int | None = None) -> float:
+        """Process up to ``train_size`` tuples at one box."""
+        box = self.network.boxes[box_id]
+        budget = self.train_size if limit is None else limit
+        consumed = 0.0
+        while budget > 0:
+            arc = self._oldest_input_arc(box)
+            if arc is None:
+                break
+            port = int(arc.target[1])
+            read_cost = self.storage.charge_consume(arc)
+            self.clock += read_cost
+            consumed += read_cost
+            tup = arc.queue.popleft()
+            enqueued_at = arc.queue_times.popleft() if arc.queue_times else self.clock
+            cost = box.operator.cost_per_tuple / self.cpu_capacity
+            self.clock += cost
+            consumed += cost
+            box.busy_time += cost
+            box.tuples_in += 1
+            self.tuples_processed += 1
+            for out_port, emitted in box.operator.process(tup, port=port):
+                box.tuples_out += 1
+                self._emit(box, out_port, emitted)
+            box.latency_sum += self.clock - enqueued_at
+            box.latency_count += 1
+            budget -= 1
+        return consumed
+
+    def _oldest_input_arc(self, box: Box) -> Arc | None:
+        """The input arc whose head tuple was enqueued earliest."""
+        best: Arc | None = None
+        best_time = float("inf")
+        for arc in box.input_arcs.values():
+            if not arc.queue:
+                continue
+            head_time = arc.queue_times[0] if arc.queue_times else 0.0
+            if head_time < best_time:
+                best, best_time = arc, head_time
+        return best
+
+    def _push_downstream(self, box_id: str) -> float:
+        """Push a train's outputs through downstream boxes (train scheduling)."""
+        consumed = 0.0
+        frontier = list(dict.fromkeys(self.network.downstream_boxes(box_id)))
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop(0)
+            box = self.network.boxes[current]
+            if box.queued() == 0:
+                continue
+            consumed += self._run_train(current)
+            for succ in self.network.downstream_boxes(current):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return consumed
+
+    def _emit(self, box: Box, out_port: int, tup: StreamTuple) -> None:
+        for arc in box.output_arcs.get(out_port, []):
+            kind, ref = arc.target
+            if kind == "out":
+                if arc.push(tup):
+                    arc.queue.popleft()
+                    self._deliver(str(ref), tup)
+            else:
+                self._enqueue(arc, tup)
+
+    def _deliver(self, output_name: str, tup: StreamTuple) -> None:
+        self.outputs[output_name].append(tup)
+        self.qos_monitor.record_output(output_name, self.clock - tup.timestamp)
+
+    def run_until_idle(self, max_steps: int = 1_000_000) -> float:
+        """Step until no box has queued input.  Returns time consumed."""
+        consumed = 0.0
+        for _ in range(max_steps):
+            delta = self.step()
+            if delta == 0.0:
+                return consumed
+            consumed += delta
+        raise RuntimeError(f"engine did not go idle within {max_steps} steps")
+
+    def flush(self) -> None:
+        """End-of-stream: flush windowed boxes in topological order.
+
+        Flush emissions are enqueued and processed like normal tuples,
+        so a flushed aggregate still flows through its merge network.
+        """
+        for box_id in self.network.topological_order():
+            box = self.network.boxes[box_id]
+            # Drain anything still queued at this box first.
+            while box.queued() > 0:
+                self._run_train(box_id, limit=box.queued())
+            for out_port, emitted in box.operator.flush():
+                box.tuples_out += 1
+                self._emit(box, out_port, emitted)
+        self.run_until_idle()
+
+    # -- load signals -------------------------------------------------------------
+
+    def queued_work(self) -> float:
+        """CPU-seconds of work currently queued across all boxes."""
+        total = 0.0
+        for box in self.network.boxes.values():
+            total += box.queued() * box.operator.cost_per_tuple
+        return total / self.cpu_capacity
+
+    def load_factor(self) -> float:
+        """Queued work relative to what fits in one load window."""
+        return self.queued_work() / self.load_window
+
+    def oldest_queued_timestamp(self, box_id: str) -> float | None:
+        """Source timestamp of the oldest tuple queued at ``box_id``."""
+        oldest: float | None = None
+        for arc in self.network.boxes[box_id].input_arcs.values():
+            if arc.queue:
+                ts = arc.queue[0].timestamp
+                if oldest is None or ts < oldest:
+                    oldest = ts
+        return oldest
+
+    def aggregate_utility(self) -> float:
+        """Current importance-weighted QoS utility across outputs."""
+        return self.qos_monitor.aggregate_utility()
+
+    def __repr__(self) -> str:
+        return (
+            f"AuroraEngine({self.network.name!r}, clock={self.clock:.4f}, "
+            f"scheduler={self.scheduler.name})"
+        )

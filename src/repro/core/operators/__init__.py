@@ -1,0 +1,41 @@
+"""The Aurora operator set (paper Section 2.2).
+
+The paper describes its operators informally; the subset it details —
+Filter, Union, WSort, Tumble — is implemented exactly as specified
+(including the Figure 2 / Figure 6 worked-example semantics), and the
+remaining named operators (Map, XSection, Slide, Join, Resample) follow
+the descriptions in the cited Aurora papers.
+
+Every operator is a push-based incremental transducer:
+``process(tuple, port)`` returns zero or more ``(out_port, tuple)``
+emissions, and ``flush()`` drains any windowed state at end-of-stream.
+Stateful operators expose ``snapshot()``/``restore()`` so load
+management (Section 5) can migrate them between nodes.
+"""
+
+from repro.core.operators.base import Operator, StatelessOperator
+from repro.core.operators.case_filter import CaseFilter, value_router
+from repro.core.operators.filter import Filter
+from repro.core.operators.map import Map
+from repro.core.operators.union import Union
+from repro.core.operators.wsort import WSort
+from repro.core.operators.tumble import Tumble
+from repro.core.operators.windows import Slide, XSection
+from repro.core.operators.join import Join
+from repro.core.operators.resample import Resample
+
+__all__ = [
+    "CaseFilter",
+    "Operator",
+    "value_router",
+    "StatelessOperator",
+    "Filter",
+    "Map",
+    "Union",
+    "WSort",
+    "Tumble",
+    "XSection",
+    "Slide",
+    "Join",
+    "Resample",
+]

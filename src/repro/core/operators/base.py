@@ -1,0 +1,112 @@
+"""Operator base classes.
+
+An operator ("box" in the paper's boxes-and-arrows vocabulary) consumes
+tuples from one or more input ports and emits tuples on one or more
+output ports.  Operators are *incremental*: they are handed one tuple at
+a time and may buffer internally (windowed operators do).
+
+Emissions are ``(out_port, StreamTuple)`` pairs so multi-output
+operators (e.g. Filter's optional false-port) are uniform with
+single-output ones.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.core.tuples import StreamTuple
+
+Emission = tuple[int, StreamTuple]
+
+
+class Operator:
+    """Abstract base for all Aurora boxes.
+
+    Attributes:
+        arity: number of input ports.
+        n_outputs: number of output ports.
+        cost_per_tuple: estimated CPU cost (virtual seconds) to process
+            one input tuple.  Used by the scheduler, load-share daemon
+            (Section 5) and QoS inference (Section 7.1, the T_B term).
+    """
+
+    arity: int = 1
+    n_outputs: int = 1
+
+    def __init__(self, cost_per_tuple: float = 0.001):
+        if cost_per_tuple < 0:
+            raise ValueError("cost_per_tuple must be non-negative")
+        self.cost_per_tuple = cost_per_tuple
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[Emission]:
+        """Consume one input tuple; return emissions."""
+        raise NotImplementedError
+
+    def flush(self) -> list[Emission]:
+        """Drain windowed state at end-of-stream.  Stateless ops emit nothing."""
+        return []
+
+    # -- state migration (box sliding / splitting, Section 5.1) ----------
+
+    @property
+    def stateful(self) -> bool:
+        """True if the operator holds cross-tuple state."""
+        return False
+
+    def snapshot(self) -> Any:
+        """Serializable copy of internal state (None for stateless ops)."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Install state captured by :meth:`snapshot` on a fresh instance."""
+        if state is not None:
+            raise ValueError(f"{type(self).__name__} is stateless; got state {state!r}")
+
+    def clone(self) -> "Operator":
+        """A fresh instance with the same configuration and *no* state.
+
+        Used by box splitting (Section 5.1) to create the copy that runs
+        on the second machine.
+        """
+        fresh = copy.copy(self)
+        if fresh.stateful:
+            fresh.reset()
+        return fresh
+
+    def reset(self) -> None:
+        """Discard internal state (no-op for stateless operators)."""
+
+    # -- high availability hooks (Section 6.2) ----------------------------
+
+    def earliest_dependencies(self) -> dict[str, int]:
+        """Per-origin sequence number of the earliest tuple this box depends on.
+
+        Used by flow-message processing (Section 6.2): "If the box has
+        state, the recorded tuple is the one that presently contributes
+        to the state of the box and that has the lowest sequence number
+        (for each upstream server)."  Stateless boxes depend only on the
+        most recently processed tuple, which the flow-message logic
+        handles without consulting the box; they return an empty dict.
+        """
+        return {}
+
+    def describe(self) -> str:
+        """Human-readable one-line description for catalogs."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+class StatelessOperator(Operator):
+    """Base for operators with no cross-tuple state.
+
+    Stateless operators can be slid between machines without the
+    snapshot/restore handshake, and — relevant to Section 6.2's queue
+    truncation — the earliest tuple they "depend on" is simply the most
+    recently processed one.
+    """
+
+    def clone(self) -> "Operator":
+        return copy.copy(self)

@@ -1,0 +1,98 @@
+"""CaseFilter: the general m-predicate form of Aurora's Filter.
+
+The Aurora operator set (the paper's citations [2, 4]) defines Filter
+over predicates p1..pm with m outputs plus an optional "else" output:
+each tuple is routed to the output of the *first* predicate it
+satisfies.  The paper's own examples use the m=1 case
+(:class:`~repro.core.operators.filter.Filter`); this operator provides
+the full router, which is also the natural primitive for multi-way box
+splitting and for content-based stream partitioning (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.operators.base import Emission, StatelessOperator
+from repro.core.tuples import StreamTuple
+
+Predicate = Callable[[StreamTuple], bool]
+
+
+class CaseFilter(StatelessOperator):
+    """Route each tuple to the output of its first matching predicate.
+
+    Args:
+        predicates: ordered predicates; output port i carries tuples
+            whose first match is predicate i.
+        with_else_port: if True, a final port carries tuples matching
+            no predicate (otherwise they are dropped).
+        names: optional labels for the predicates.
+    """
+
+    def __init__(
+        self,
+        predicates: list[Predicate],
+        with_else_port: bool = False,
+        names: list[str] | None = None,
+        cost_per_tuple: float = 0.001,
+    ):
+        super().__init__(cost_per_tuple=cost_per_tuple)
+        if not predicates:
+            raise ValueError("CaseFilter needs at least one predicate")
+        if names is not None and len(names) != len(predicates):
+            raise ValueError("names must match predicates one-to-one")
+        self.predicates = list(predicates)
+        self.with_else_port = with_else_port
+        self.n_outputs = len(predicates) + (1 if with_else_port else 0)
+        self.predicate_names = names or [
+            getattr(p, "__name__", f"p{i}") for i, p in enumerate(predicates)
+        ]
+        self.routed: list[int] = [0] * self.n_outputs
+        self.dropped = 0
+
+    @property
+    def else_port(self) -> int:
+        """The port index of the else output."""
+        if not self.with_else_port:
+            raise ValueError("this CaseFilter has no else port")
+        return len(self.predicates)
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[Emission]:
+        if port != 0:
+            raise ValueError(f"CaseFilter has a single input port, got {port}")
+        for index, predicate in enumerate(self.predicates):
+            if predicate(tup):
+                self.routed[index] += 1
+                return [(index, tup)]
+        if self.with_else_port:
+            self.routed[self.else_port] += 1
+            return [(self.else_port, tup)]
+        self.dropped += 1
+        return []
+
+    def describe(self) -> str:
+        cases = ", ".join(self.predicate_names)
+        suffix = ", else" if self.with_else_port else ""
+        return f"CaseFilter({cases}{suffix})"
+
+
+def value_router(field: str, values: list, with_else_port: bool = True, **kwargs) -> CaseFilter:
+    """A CaseFilter routing by equality on one attribute.
+
+    ``value_router("proto", ["tcp", "udp"])`` gives port 0 = tcp,
+    port 1 = udp, port 2 = everything else.
+    """
+
+    def match(value):
+        def predicate(tup: StreamTuple) -> bool:
+            return tup[field] == value
+
+        predicate.__name__ = f"{field} == {value!r}"
+        return predicate
+
+    return CaseFilter(
+        [match(v) for v in values],
+        with_else_port=with_else_port,
+        **kwargs,
+    )

@@ -1,0 +1,80 @@
+"""Filter: the paper's simple unary operator (Section 2.2).
+
+Given a predicate ``p``, Filter(p) outputs all input tuples satisfying
+``p`` on port 0.  Optionally it produces a second output stream (port 1)
+of the tuples that did *not* satisfy ``p`` — the paper notes this
+explicitly, and box splitting (Section 5.1) uses exactly this two-port
+form as the "semantic router" in front of a split box.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.operators.base import Emission, StatelessOperator
+from repro.core.tuples import StreamTuple
+
+Predicate = Callable[[StreamTuple], bool]
+
+
+class Filter(StatelessOperator):
+    """Filter(p): pass tuples satisfying ``p``; optionally route the rest.
+
+    Args:
+        predicate: boolean function of a tuple.
+        with_false_port: if True, tuples failing the predicate are
+            emitted on port 1 instead of being dropped.
+        name: optional label for the predicate, shown in catalogs and
+            useful when predicates are lambdas.
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        with_false_port: bool = False,
+        name: str | None = None,
+        cost_per_tuple: float = 0.001,
+    ):
+        super().__init__(cost_per_tuple=cost_per_tuple)
+        self.predicate = predicate
+        self.with_false_port = with_false_port
+        self.n_outputs = 2 if with_false_port else 1
+        self.predicate_name = name or getattr(predicate, "__name__", "p")
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[Emission]:
+        if port != 0:
+            raise ValueError(f"Filter has a single input port, got {port}")
+        if self.predicate(tup):
+            return [(0, tup)]
+        if self.with_false_port:
+            return [(1, tup)]
+        return []
+
+    def describe(self) -> str:
+        suffix = ", with_false_port" if self.with_false_port else ""
+        return f"Filter({self.predicate_name}{suffix})"
+
+
+def attribute_filter(field: str, op: str, value: object, **kwargs) -> Filter:
+    """Build a Filter comparing one attribute against a constant.
+
+    ``attribute_filter("B", "<", 3)`` is the router predicate used in
+    the paper's Figure 6 split example.  Supported ops:
+    ``< <= > >= == !=``.
+    """
+    comparators: dict[str, Callable[[object, object], bool]] = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+    if op not in comparators:
+        raise ValueError(f"unsupported comparison {op!r}; use one of {sorted(comparators)}")
+    compare = comparators[op]
+
+    def predicate(tup: StreamTuple) -> bool:
+        return compare(tup[field], value)
+
+    return Filter(predicate, name=f"{field} {op} {value!r}", **kwargs)

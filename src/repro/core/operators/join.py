@@ -1,0 +1,117 @@
+"""Join: windowed binary join (named in Section 2.2).
+
+A symmetric windowed join: each side retains its most recent ``window``
+tuples; an arriving tuple is matched against the opposite buffer with a
+join predicate, emitting one merged tuple per match.  Joins are the
+paper's canonical example of a box whose selectivity can exceed one —
+sliding such a box *downstream* saves bandwidth (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.core.operators.base import Emission, Operator
+from repro.core.tuples import StreamTuple
+
+JoinPredicate = Callable[[StreamTuple, StreamTuple], bool]
+
+
+class Join(Operator):
+    """Join(p, window): symmetric count-windowed join of two streams.
+
+    Args:
+        predicate: boolean function of (left_tuple, right_tuple).
+        window: number of tuples retained per side.
+        left_prefix / right_prefix: prefixes applied to field names on
+            collision so merged tuples keep both sides' values.
+    """
+
+    arity = 2
+
+    def __init__(
+        self,
+        predicate: JoinPredicate,
+        window: int = 100,
+        left_prefix: str = "left_",
+        right_prefix: str = "right_",
+        name: str | None = None,
+        cost_per_tuple: float = 0.005,
+    ):
+        super().__init__(cost_per_tuple=cost_per_tuple)
+        if window < 1:
+            raise ValueError("join window must be >= 1")
+        self.predicate = predicate
+        self.window = window
+        self.left_prefix = left_prefix
+        self.right_prefix = right_prefix
+        self.predicate_name = name or getattr(predicate, "__name__", "p")
+        self.reset()
+
+    @property
+    def stateful(self) -> bool:
+        return True
+
+    def reset(self) -> None:
+        self._buffers: tuple[deque, deque] = (
+            deque(maxlen=self.window),
+            deque(maxlen=self.window),
+        )
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[Emission]:
+        if port not in (0, 1):
+            raise ValueError(f"Join has input ports 0 and 1, got {port}")
+        other_port = 1 - port
+        emissions: list[Emission] = []
+        for candidate in self._buffers[other_port]:
+            left, right = (tup, candidate) if port == 0 else (candidate, tup)
+            if self.predicate(left, right):
+                emissions.append((0, self._merge(left, right)))
+        self._buffers[port].append(tup)
+        return emissions
+
+    def _merge(self, left: StreamTuple, right: StreamTuple) -> StreamTuple:
+        # Shared fields with equal values (typically the join key) are
+        # kept un-prefixed; genuine conflicts get side prefixes.
+        values: dict[str, Any] = {}
+        conflicts = {
+            field
+            for field in set(left.values) & set(right.values)
+            if left.values[field] != right.values[field]
+        }
+        for field, value in left.values.items():
+            key = self.left_prefix + field if field in conflicts else field
+            values[key] = value
+        for field, value in right.values.items():
+            key = self.right_prefix + field if field in conflicts else field
+            values[key] = value
+        # The merged tuple's latency lineage is the *older* input, so
+        # QoS latency accounting is conservative.
+        older = left if left.timestamp <= right.timestamp else right
+        return older.derive(values)
+
+    def snapshot(self) -> Any:
+        return (list(self._buffers[0]), list(self._buffers[1]))
+
+    def restore(self, state: Any) -> None:
+        if state is None:
+            self.reset()
+            return
+        left, right = state
+        self._buffers = (
+            deque(left, maxlen=self.window),
+            deque(right, maxlen=self.window),
+        )
+
+    def describe(self) -> str:
+        return f"Join({self.predicate_name}, window={self.window})"
+
+
+def equijoin(field: str, **kwargs) -> Join:
+    """A Join matching tuples with equal values of ``field``."""
+
+    def predicate(left: StreamTuple, right: StreamTuple) -> bool:
+        return left[field] == right[field]
+
+    return Join(predicate, name=f"{field} == {field}", **kwargs)

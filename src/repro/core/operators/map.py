@@ -1,0 +1,61 @@
+"""Map: per-tuple transformation (mentioned in Section 2.2).
+
+Applies a function to each input tuple's values, emitting one output
+tuple per input tuple.  Metadata (timestamp, sequence lineage) is
+inherited via :meth:`StreamTuple.derive`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.operators.base import Emission, StatelessOperator
+from repro.core.tuples import StreamTuple
+
+
+class Map(StatelessOperator):
+    """Map(f): emit ``f(values)`` for each input tuple.
+
+    Args:
+        func: function from the input values mapping to the output
+            values mapping.
+        name: optional label shown in catalogs.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[Mapping[str, Any]], Mapping[str, Any]],
+        name: str | None = None,
+        cost_per_tuple: float = 0.001,
+    ):
+        super().__init__(cost_per_tuple=cost_per_tuple)
+        self.func = func
+        self.func_name = name or getattr(func, "__name__", "f")
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[Emission]:
+        if port != 0:
+            raise ValueError(f"Map has a single input port, got {port}")
+        return [(0, tup.derive(self.func(tup.values)))]
+
+    def describe(self) -> str:
+        return f"Map({self.func_name})"
+
+
+def project(*fields: str, **kwargs) -> Map:
+    """A Map keeping only the named fields."""
+
+    def projector(values: Mapping[str, Any]) -> Mapping[str, Any]:
+        return {f: values[f] for f in fields}
+
+    return Map(projector, name=f"project{fields}", **kwargs)
+
+
+def extend(field: str, func: Callable[[Mapping[str, Any]], Any], **kwargs) -> Map:
+    """A Map adding a computed field to each tuple."""
+
+    def extender(values: Mapping[str, Any]) -> Mapping[str, Any]:
+        out = dict(values)
+        out[field] = func(values)
+        return out
+
+    return Map(extender, name=f"extend({field})", **kwargs)

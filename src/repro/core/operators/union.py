@@ -1,0 +1,30 @@
+"""Union: the paper's binary (n-ary) merge operator (Section 2.2).
+
+"Union produces an output stream consisting of all tuples on its n
+input streams."  Order is arrival order; no buffering, no state.  Box
+splitting (Figures 5 and 6) uses Union as the first stage of every
+merge network.
+"""
+
+from __future__ import annotations
+
+from repro.core.operators.base import Emission, StatelessOperator
+from repro.core.tuples import StreamTuple
+
+
+class Union(StatelessOperator):
+    """Union(n): interleave n input streams in arrival order."""
+
+    def __init__(self, n_inputs: int = 2, cost_per_tuple: float = 0.0005):
+        super().__init__(cost_per_tuple=cost_per_tuple)
+        if n_inputs < 1:
+            raise ValueError(f"Union needs at least one input, got {n_inputs}")
+        self.arity = n_inputs
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[Emission]:
+        if not 0 <= port < self.arity:
+            raise ValueError(f"Union({self.arity}) has no input port {port}")
+        return [(0, tup)]
+
+    def describe(self) -> str:
+        return f"Union({self.arity})"

@@ -1,0 +1,201 @@
+"""Quality-of-Service specifications and monitoring (Sections 2.3, 7.1).
+
+Every Aurora application supplies, with its query, a QoS specification:
+a function from some characteristic of an output stream (latency, result
+precision/loss, or value) to a *utility* ("happiness") value.  Aurora's
+operational goal is to maximize the aggregate perceived QoS, and all
+resource decisions — scheduling, load shedding, load sharing — are
+driven by these graphs.
+
+QoS graphs are piecewise-linear utility functions, following the Aurora
+papers.  Section 7.1's inference rule for internal nodes —
+``Q_i(t) = Q_o(t + T_B)`` — is :meth:`PiecewiseLinear.shift`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+
+class PiecewiseLinear:
+    """A piecewise-linear function given by (x, y) breakpoints.
+
+    Evaluation clamps outside the breakpoint range (flat extension),
+    which matches how QoS graphs are drawn in the Aurora papers: utility
+    is constant before the first knee and after the last.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        if len(points) < 1:
+            raise ValueError("need at least one breakpoint")
+        xs = [x for x, _y in points]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise ValueError(f"breakpoint x values must be strictly increasing: {xs}")
+        self.points = [(float(x), float(y)) for x, y in points]
+
+    def __call__(self, x: float) -> float:
+        points = self.points
+        if x <= points[0][0]:
+            return points[0][1]
+        if x >= points[-1][0]:
+            return points[-1][1]
+        i = bisect_right([p[0] for p in points], x)
+        (x0, y0), (x1, y1) = points[i - 1], points[i]
+        return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+
+    def shift(self, delta: float) -> "PiecewiseLinear":
+        """The function ``g(x) = f(x + delta)``.
+
+        This implements Section 7.1's QoS inference: if a box takes
+        ``T_B`` time units end-to-end, the QoS specification at its
+        input is the output specification shifted by ``T_B``:
+        ``Q_i(t) = Q_o(t + T_B)``.
+        """
+        return PiecewiseLinear([(x - delta, y) for x, y in self.points])
+
+    def slope_at(self, x: float) -> float:
+        """Derivative at ``x`` (0 outside the breakpoint range).
+
+        The load shedder and QoS-driven scheduler use the *steepness*
+        of the utility graph to decide where effort (or shedding) does
+        the most good.
+        """
+        points = self.points
+        if x < points[0][0] or x >= points[-1][0]:
+            return 0.0
+        i = bisect_right([p[0] for p in points], x)
+        i = min(max(i, 1), len(points) - 1)
+        (x0, y0), (x1, y1) = points[i - 1], points[i]
+        if x1 == x0:
+            return 0.0
+        return (y1 - y0) / (x1 - x0)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({x:g}, {y:g})" for x, y in self.points)
+        return f"PiecewiseLinear([{inner}])"
+
+
+def latency_qos(good_until: float, zero_at: float) -> PiecewiseLinear:
+    """A standard latency-based QoS graph.
+
+    Utility is 1.0 for latencies up to ``good_until``, falls linearly,
+    and reaches 0.0 at ``zero_at``.
+    """
+    if zero_at <= good_until:
+        raise ValueError("zero_at must exceed good_until")
+    return PiecewiseLinear([(0.0, 1.0), (good_until, 1.0), (zero_at, 0.0)])
+
+
+def loss_qos(full_at: float = 1.0, zero_at: float = 0.0) -> PiecewiseLinear:
+    """A loss-tolerance QoS graph over the delivered fraction of tuples.
+
+    Utility 1.0 when ``full_at`` (typically 100%) of tuples are
+    delivered, falling linearly to 0.0 at ``zero_at``.
+    """
+    if full_at <= zero_at:
+        raise ValueError("full_at must exceed zero_at")
+    return PiecewiseLinear([(zero_at, 0.0), (full_at, 1.0)])
+
+
+class QoSSpec:
+    """A multi-dimensional QoS specification for one output stream.
+
+    Args:
+        latency: utility as a function of output tuple latency.
+        loss: utility as a function of delivered tuple fraction.
+        importance: relative weight of this output when the engine
+            aggregates utility across applications.
+    """
+
+    def __init__(
+        self,
+        latency: PiecewiseLinear | None = None,
+        loss: PiecewiseLinear | None = None,
+        importance: float = 1.0,
+    ):
+        if importance <= 0:
+            raise ValueError("importance must be positive")
+        self.latency = latency or latency_qos(1.0, 10.0)
+        self.loss = loss or loss_qos()
+        self.importance = importance
+
+    def utility(self, latency: float, delivered_fraction: float = 1.0) -> float:
+        """Combined utility: product of per-dimension utilities."""
+        return self.latency(latency) * self.loss(delivered_fraction)
+
+    def inferred_upstream(self, t_b: float) -> "QoSSpec":
+        """The spec pushed one box upstream (Section 7.1, Figure 9).
+
+        ``t_b`` is the box's average end-to-end per-tuple time
+        (processing plus queueing).  Loss and importance are inherited
+        unchanged.
+        """
+        return QoSSpec(
+            latency=self.latency.shift(t_b),
+            loss=self.loss,
+            importance=self.importance,
+        )
+
+    def __repr__(self) -> str:
+        return f"QoSSpec(importance={self.importance:g})"
+
+
+class QoSMonitor:
+    """Run-time QoS observation (the "QoS Monitor" of Figure 3).
+
+    Records the latency of each output tuple, maintains delivered/shed
+    counts, and exposes per-output and aggregate utility.  This is the
+    signal that "drives the Scheduler in its decision-making, and ...
+    informs the Load Shedder when and where it is appropriate to
+    discard tuples" (Section 2.3).
+    """
+
+    def __init__(self, specs: dict[str, QoSSpec] | None = None):
+        self.specs: dict[str, QoSSpec] = dict(specs or {})
+        self.latencies: dict[str, list[float]] = {}
+        self.delivered: dict[str, int] = {}
+        self.shed: dict[str, int] = {}
+
+    def spec_for(self, output: str) -> QoSSpec:
+        """The spec for an output (a default spec if none was given)."""
+        if output not in self.specs:
+            self.specs[output] = QoSSpec()
+        return self.specs[output]
+
+    def record_output(self, output: str, latency: float) -> None:
+        """Record delivery of one output tuple with the given latency."""
+        self.latencies.setdefault(output, []).append(latency)
+        self.delivered[output] = self.delivered.get(output, 0) + 1
+
+    def record_shed(self, output: str, count: int = 1) -> None:
+        """Record that ``count`` tuples destined for ``output`` were shed."""
+        self.shed[output] = self.shed.get(output, 0) + count
+
+    def delivered_fraction(self, output: str) -> float:
+        delivered = self.delivered.get(output, 0)
+        shed = self.shed.get(output, 0)
+        total = delivered + shed
+        return delivered / total if total else 1.0
+
+    def mean_latency(self, output: str) -> float:
+        latencies = self.latencies.get(output, [])
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def utility(self, output: str) -> float:
+        """Current utility of one output stream."""
+        spec = self.spec_for(output)
+        return spec.utility(self.mean_latency(output), self.delivered_fraction(output))
+
+    def aggregate_utility(self) -> float:
+        """Importance-weighted mean utility across all outputs."""
+        outputs = set(self.latencies) | set(self.specs)
+        if not outputs:
+            return 1.0
+        total_weight = 0.0
+        total = 0.0
+        for output in outputs:
+            spec = self.spec_for(output)
+            total += spec.importance * self.utility(output)
+            total_weight += spec.importance
+        return total / total_weight if total_weight else 1.0

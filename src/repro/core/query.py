@@ -1,0 +1,483 @@
+"""Query networks: the boxes-and-arrows data-flow model (Section 2.2).
+
+Tuples flow through a loop-free directed graph of operator boxes.
+Arcs carry queues of in-flight tuples; *connection points* are
+predetermined arcs where historical data is stored (for ad-hoc queries)
+and where network transformations stabilize the flow (Section 5.1:
+"Network transformations are only considered between connection
+points" — the connection point is "choked off", queued tuples drain,
+the network is manipulated, and flow resumes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.core.operators.base import Operator
+from repro.core.tuples import StreamTuple
+
+
+class QueryError(ValueError):
+    """Raised for malformed query networks (cycles, bad ports, bad names)."""
+
+
+class ConnectionPoint:
+    """Historical storage + stabilization point on an arc (Sections 2.2, 5.1).
+
+    Stores the last ``retention`` tuples that crossed the arc so ad-hoc
+    queries can read history, and supports *choking*: while choked,
+    tuples arriving at the arc are collected here instead of flowing on,
+    which lets load management quiesce the downstream sub-network before
+    moving boxes.
+    """
+
+    def __init__(self, retention: int = 1000):
+        if retention < 0:
+            raise ValueError("retention must be non-negative")
+        self.retention = retention
+        self.history: deque[StreamTuple] = deque(maxlen=retention if retention else 1)
+        self.choked = False
+        self.held: deque[StreamTuple] = deque()
+        self.tuples_seen = 0
+        # Live subscribers (attached ad-hoc queries, Section 2.2): each
+        # is called with every tuple batch that crosses the arc.
+        self._subscribers: list = []
+
+    def record(self, tup: StreamTuple) -> None:
+        """Remember a tuple that crossed the arc."""
+        if self.retention:
+            self.history.append(tup)
+        self.tuples_seen += 1
+        for subscriber in self._subscribers:
+            subscriber([tup])
+
+    def subscribe(self, callback) -> None:
+        """Register a live-tuple callback (``callback(list_of_tuples)``)."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def choke(self) -> None:
+        """Stop flow: subsequent arrivals are held, not propagated."""
+        self.choked = True
+
+    def unchoke(self) -> list[StreamTuple]:
+        """Resume flow; returns (and clears) the held tuples for replay."""
+        self.choked = False
+        held = list(self.held)
+        self.held.clear()
+        return held
+
+    def read_history(self) -> list[StreamTuple]:
+        """The retained historical tuples, oldest first (ad-hoc queries)."""
+        return list(self.history)
+
+
+class Arc:
+    """A directed edge carrying tuples between endpoints.
+
+    Endpoints are either a (box_id, port) pair or an external stream:
+    ``("in", name)`` for a network input, ``("out", name)`` for an
+    output presented to applications.
+    """
+
+    def __init__(
+        self,
+        arc_id: str,
+        source: tuple[str, int | str],
+        target: tuple[str, int | str],
+        connection_point: ConnectionPoint | None = None,
+    ):
+        self.id = arc_id
+        self.source = source
+        self.target = target
+        self.connection_point = connection_point
+        self.queue: deque[StreamTuple] = deque()
+        # Enqueue clocks, maintained by the scheduled engine (and only by
+        # it) in lockstep with ``queue``; used for per-box latency stats.
+        self.queue_times: deque[float] = deque()
+        self.tuples_transferred = 0
+
+    @property
+    def is_input(self) -> bool:
+        return self.source[0] == "in"
+
+    @property
+    def is_output(self) -> bool:
+        return self.target[0] == "out"
+
+    def push(self, tup: StreamTuple) -> bool:
+        """Enqueue a tuple; returns False if held at a choked connection point."""
+        cp = self.connection_point
+        if cp is not None:
+            if cp.choked:
+                cp.held.append(tup)
+                return False
+            cp.record(tup)
+        self.queue.append(tup)
+        self.tuples_transferred += 1
+        return True
+
+    def __repr__(self) -> str:
+        return f"Arc({self.id}: {self.source} -> {self.target}, queued={len(self.queue)})"
+
+
+class Box:
+    """A placed operator: identity plus wiring plus run-time statistics."""
+
+    def __init__(self, box_id: str, operator: Operator):
+        self.id = box_id
+        self.operator = operator
+        # input_arcs[port] -> arc ; output_arcs[port] -> list of arcs (fan-out copies)
+        self.input_arcs: dict[int, Arc] = {}
+        self.output_arcs: dict[int, list[Arc]] = {}
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.busy_time = 0.0
+        # Sum/count of (completion clock - enqueue clock) per processed
+        # tuple: the measured T_B of Section 7.1 ("T_B can be measured
+        # and recorded by each box and would implicitly include any
+        # queuing time").
+        self.latency_sum = 0.0
+        self.latency_count = 0
+
+    @property
+    def average_time(self) -> float:
+        """Measured average per-tuple time through this box (T_B)."""
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+    @property
+    def selectivity(self) -> float:
+        """Observed output/input ratio (1.0 until the box has seen input)."""
+        if self.tuples_in == 0:
+            return 1.0
+        return self.tuples_out / self.tuples_in
+
+    def queued(self) -> int:
+        """Total tuples waiting on the box's input arcs."""
+        return sum(len(arc.queue) for arc in self.input_arcs.values())
+
+    def __repr__(self) -> str:
+        return f"Box({self.id}: {self.operator.describe()})"
+
+
+def _parse_endpoint(spec: str | tuple[str, int]) -> tuple[str, int | str]:
+    """Normalize an endpoint spec.
+
+    Accepted forms: ``"in:streamname"``, ``"out:streamname"``,
+    ``"boxid"`` (port 0), ``("boxid", port)``.
+    """
+    if isinstance(spec, tuple):
+        box_id, port = spec
+        return (box_id, int(port))
+    if spec.startswith("in:"):
+        return ("in", spec[3:])
+    if spec.startswith("out:"):
+        return ("out", spec[4:])
+    return (spec, 0)
+
+
+class QueryNetwork:
+    """A loop-free directed graph of operator boxes (Figure 1).
+
+    Build with :meth:`add_box` and :meth:`connect`; validate with
+    :meth:`validate` (the engine calls it on load).  Execution lives in
+    :mod:`repro.core.engine` (scheduled) and :func:`execute`
+    (synchronous, for semantics tests).
+    """
+
+    def __init__(self, name: str = "query"):
+        self.name = name
+        self.boxes: dict[str, Box] = {}
+        self.arcs: dict[str, Arc] = {}
+        self.inputs: dict[str, list[Arc]] = {}
+        self.outputs: dict[str, Arc] = {}
+        self._arc_counter = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_box(self, box_id: str, operator: Operator) -> Box:
+        """Add an operator box; ids must be unique within the network."""
+        if box_id in self.boxes:
+            raise QueryError(f"duplicate box id {box_id!r}")
+        if box_id in ("in", "out"):
+            raise QueryError("'in' and 'out' are reserved endpoint names")
+        box = Box(box_id, operator)
+        self.boxes[box_id] = box
+        return box
+
+    def connect(
+        self,
+        source: str | tuple[str, int],
+        target: str | tuple[str, int],
+        connection_point: bool = False,
+        retention: int = 1000,
+        arc_id: str | None = None,
+    ) -> Arc:
+        """Wire an arc from ``source`` to ``target``.
+
+        Endpoint syntax: ``"in:name"`` / ``"out:name"`` for external
+        streams, ``"boxid"`` or ``("boxid", port)`` for boxes.  Set
+        ``connection_point=True`` to attach historical storage and make
+        the arc a valid stabilization point for load management.
+        """
+        src = _parse_endpoint(source)
+        dst = _parse_endpoint(target)
+        if arc_id is None:
+            arc_id = f"arc{self._arc_counter}"
+            self._arc_counter += 1
+        if arc_id in self.arcs:
+            raise QueryError(f"duplicate arc id {arc_id!r}")
+        cp = ConnectionPoint(retention=retention) if connection_point else None
+        arc = Arc(arc_id, src, dst, connection_point=cp)
+        self._attach(arc)
+        self.arcs[arc_id] = arc
+        return arc
+
+    def _attach(self, arc: Arc) -> None:
+        src_kind, src_ref = arc.source
+        dst_kind, dst_ref = arc.target
+        if src_kind == "out" or dst_kind == "in":
+            raise QueryError(f"arc {arc.id}: 'out' cannot be a source / 'in' a target")
+        if src_kind == "in":
+            self.inputs.setdefault(str(src_ref), []).append(arc)
+        else:
+            box = self._box(src_kind)
+            port = int(src_ref)
+            if not 0 <= port < box.operator.n_outputs:
+                raise QueryError(
+                    f"arc {arc.id}: box {box.id!r} has no output port {port}"
+                )
+            box.output_arcs.setdefault(port, []).append(arc)
+        if dst_kind == "out":
+            name = str(dst_ref)
+            if name in self.outputs:
+                raise QueryError(f"duplicate output stream {name!r}")
+            self.outputs[name] = arc
+        else:
+            box = self._box(dst_kind)
+            port = int(dst_ref)
+            if not 0 <= port < box.operator.arity:
+                raise QueryError(
+                    f"arc {arc.id}: box {box.id!r} has no input port {port}"
+                )
+            if port in box.input_arcs:
+                raise QueryError(
+                    f"arc {arc.id}: box {box.id!r} input port {port} already connected"
+                )
+            box.input_arcs[port] = arc
+
+    def _box(self, box_id: str) -> Box:
+        try:
+            return self.boxes[box_id]
+        except KeyError:
+            raise QueryError(f"unknown box {box_id!r}") from None
+
+    # -- run-time rewiring (load management, Section 5.1) ---------------------
+
+    def rewire_target(self, arc: Arc, target: str | tuple[str, int]) -> None:
+        """Point an existing arc at a new consumer (box port or output).
+
+        Used by box splitting: the arc that fed the original box is
+        redirected to the router Filter, and so on.  Queued tuples stay
+        on the arc and flow to the new consumer.
+        """
+        dst = _parse_endpoint(target)
+        old_kind, old_ref = arc.target
+        if old_kind == "out":
+            del self.outputs[str(old_ref)]
+        else:
+            box = self._box(str(old_kind))
+            box.input_arcs.pop(int(old_ref), None)
+        arc.target = ("", 0)  # detached sentinel while re-attaching
+        arc.target = dst
+        kind, ref = dst
+        if kind == "out":
+            name = str(ref)
+            if name in self.outputs:
+                raise QueryError(f"duplicate output stream {name!r}")
+            self.outputs[name] = arc
+        else:
+            box = self._box(str(kind))
+            port = int(ref)
+            if not 0 <= port < box.operator.arity:
+                raise QueryError(f"box {box.id!r} has no input port {port}")
+            if port in box.input_arcs:
+                raise QueryError(f"box {box.id!r} input port {port} already connected")
+            box.input_arcs[port] = arc
+
+    def rewire_source(self, arc: Arc, source: str | tuple[str, int]) -> None:
+        """Attach an existing arc to a new producer (box port or input)."""
+        src = _parse_endpoint(source)
+        old_kind, old_ref = arc.source
+        if old_kind == "in":
+            arcs = self.inputs.get(str(old_ref), [])
+            if arc in arcs:
+                arcs.remove(arc)
+            if not arcs and str(old_ref) in self.inputs:
+                del self.inputs[str(old_ref)]
+        else:
+            box = self._box(str(old_kind))
+            port_arcs = box.output_arcs.get(int(old_ref), [])
+            if arc in port_arcs:
+                port_arcs.remove(arc)
+        arc.source = src
+        kind, ref = src
+        if kind == "in":
+            self.inputs.setdefault(str(ref), []).append(arc)
+        else:
+            box = self._box(str(kind))
+            port = int(ref)
+            if not 0 <= port < box.operator.n_outputs:
+                raise QueryError(f"box {box.id!r} has no output port {port}")
+            box.output_arcs.setdefault(port, []).append(arc)
+
+    def remove_arc(self, arc_id: str) -> None:
+        """Delete an arc entirely (detaching both endpoints)."""
+        arc = self.arcs.pop(arc_id)
+        kind, ref = arc.source
+        if kind == "in":
+            arcs = self.inputs.get(str(ref), [])
+            if arc in arcs:
+                arcs.remove(arc)
+        else:
+            port_arcs = self.boxes[str(kind)].output_arcs.get(int(ref), [])
+            if arc in port_arcs:
+                port_arcs.remove(arc)
+        kind, ref = arc.target
+        if kind == "out":
+            self.outputs.pop(str(ref), None)
+        else:
+            self.boxes[str(kind)].input_arcs.pop(int(ref), None)
+
+    def remove_box(self, box_id: str) -> Box:
+        """Delete a box; all its arcs must have been removed or rewired."""
+        box = self._box(box_id)
+        if box.input_arcs or any(box.output_arcs.values()):
+            raise QueryError(f"box {box_id!r} still has connected arcs")
+        return self.boxes.pop(box_id)
+
+    # -- introspection -------------------------------------------------------
+
+    def upstream_box(self, box_id: str, port: int = 0) -> str | None:
+        """The box feeding ``box_id``'s input ``port``, or None for inputs."""
+        arc = self._box(box_id).input_arcs.get(port)
+        if arc is None or arc.source[0] == "in":
+            return None
+        return str(arc.source[0])
+
+    def downstream_boxes(self, box_id: str) -> list[str]:
+        """Boxes directly fed by any output port of ``box_id``."""
+        result = []
+        for arcs in self._box(box_id).output_arcs.values():
+            for arc in arcs:
+                if arc.target[0] != "out":
+                    result.append(str(arc.target[0]))
+        return result
+
+    def topological_order(self) -> list[str]:
+        """Box ids in dependency order.  Raises :class:`QueryError` on cycles."""
+        indegree = {box_id: 0 for box_id in self.boxes}
+        for arc in self.arcs.values():
+            if arc.source[0] not in ("in",) and arc.target[0] not in ("out",):
+                indegree[str(arc.target[0])] += 1
+        ready = deque(sorted(b for b, d in indegree.items() if d == 0))
+        order: list[str] = []
+        while ready:
+            box_id = ready.popleft()
+            order.append(box_id)
+            for succ in self.downstream_boxes(box_id):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.boxes):
+            cyclic = sorted(set(self.boxes) - set(order))
+            raise QueryError(f"query network contains a cycle through {cyclic}")
+        return order
+
+    def validate(self) -> None:
+        """Check the network is well-formed: acyclic, fully wired."""
+        self.topological_order()
+        for box in self.boxes.values():
+            for port in range(box.operator.arity):
+                if port not in box.input_arcs:
+                    raise QueryError(
+                        f"box {box.id!r} input port {port} is not connected"
+                    )
+
+    def connection_points(self) -> Iterator[tuple[str, ConnectionPoint]]:
+        """All (arc_id, connection_point) pairs in the network."""
+        for arc in self.arcs.values():
+            if arc.connection_point is not None:
+                yield arc.id, arc.connection_point
+
+    def total_queued(self) -> int:
+        """Total tuples waiting on all arcs (load signal)."""
+        return sum(len(arc.queue) for arc in self.arcs.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryNetwork({self.name!r}: {len(self.boxes)} boxes, "
+            f"{len(self.arcs)} arcs)"
+        )
+
+
+def execute(
+    network: QueryNetwork,
+    inputs: dict[str, Iterable[StreamTuple]],
+    flush: bool = True,
+) -> dict[str, list[StreamTuple]]:
+    """Synchronously run a network to completion (reference executor).
+
+    Tuples from all inputs are merged in timestamp order (ties by input
+    name, then position) and pushed depth-first through the graph: each
+    tuple is fully propagated before the next is admitted.  This is the
+    executor used to verify operator semantics and split transparency;
+    the scheduled engine (:mod:`repro.core.engine`) is the run-time
+    counterpart.
+
+    Returns a mapping of output stream name to emitted tuples.
+    """
+    network.validate()
+    results: dict[str, list[StreamTuple]] = {name: [] for name in network.outputs}
+
+    def propagate(arc: Arc, tup: StreamTuple) -> None:
+        if not arc.push(tup):
+            return  # held at a choked connection point
+        arc.queue.popleft()
+        kind, ref = arc.target
+        if kind == "out":
+            results[str(ref)].append(tup)
+            return
+        box = network.boxes[str(kind)]
+        box.tuples_in += 1
+        for out_port, emitted in box.operator.process(tup, port=int(ref)):
+            box.tuples_out += 1
+            for out_arc in box.output_arcs.get(out_port, []):
+                propagate(out_arc, emitted)
+
+    feed: list[tuple[float, str, int, StreamTuple]] = []
+    for name, tuples in inputs.items():
+        if name not in network.inputs:
+            raise QueryError(f"network has no input stream {name!r}")
+        for position, tup in enumerate(tuples):
+            feed.append((tup.timestamp, name, position, tup))
+    feed.sort(key=lambda item: (item[0], item[1], item[2]))
+
+    for _ts, name, _pos, tup in feed:
+        for arc in network.inputs[name]:
+            propagate(arc, tup)
+
+    if flush:
+        for box_id in network.topological_order():
+            box = network.boxes[box_id]
+            for out_port, emitted in box.operator.flush():
+                box.tuples_out += 1
+                for out_arc in box.output_arcs.get(out_port, []):
+                    propagate(out_arc, emitted)
+    return results

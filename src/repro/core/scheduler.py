@@ -1,0 +1,124 @@
+"""Box schedulers, including train scheduling (Section 2.3).
+
+"The heart of the system is the scheduler that determines which box to
+run.  It also determines how many of the tuples that might be waiting in
+front of a given box to process and how far to push them toward the
+output.  We call this latter determination train scheduling."
+
+A scheduler chooses the next box; the engine then processes a *train*
+of up to ``train_size`` tuples from that box and, if ``push_trains`` is
+on, pushes the results through downstream boxes within the same
+scheduling step — amortizing the per-decision scheduling overhead.
+The final tactic in Section 2.3's list — "retune the scheduler by ...
+switching scheduler disciplines" — is supported by swapping the
+scheduler object on a running engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import AuroraEngine
+
+
+class Scheduler:
+    """Strategy interface: pick the next box to run."""
+
+    name = "abstract"
+
+    def choose(self, engine: "AuroraEngine") -> str | None:
+        """Return the id of the box to run next, or None if nothing is runnable."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through boxes in a fixed order, skipping empty ones."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, engine: "AuroraEngine") -> str | None:
+        box_ids = engine.box_order
+        if not box_ids:
+            return None
+        for offset in range(len(box_ids)):
+            box_id = box_ids[(self._cursor + offset) % len(box_ids)]
+            if engine.network.boxes[box_id].queued() > 0:
+                self._cursor = (self._cursor + offset + 1) % len(box_ids)
+                return box_id
+        return None
+
+
+class LongestQueueScheduler(Scheduler):
+    """Always run the box with the most queued input tuples."""
+
+    name = "longest_queue"
+
+    def choose(self, engine: "AuroraEngine") -> str | None:
+        best_id: str | None = None
+        best_queued = 0
+        for box_id in engine.box_order:
+            queued = engine.network.boxes[box_id].queued()
+            if queued > best_queued:
+                best_id, best_queued = box_id, queued
+        return best_id
+
+
+class QoSScheduler(Scheduler):
+    """QoS-driven scheduling: favor boxes feeding urgent outputs.
+
+    A box's urgency is the steepest downward latency-utility slope among
+    the outputs it can reach, evaluated at the age of its oldest queued
+    tuple, weighted by application importance.  Boxes whose outputs sit
+    on the flat (still-happy) part of their QoS graph yield to boxes
+    whose outputs are sliding down the utility cliff — the behaviour
+    Section 2.3 describes as QoS information "driving the Scheduler in
+    its decision-making".
+    """
+
+    name = "qos"
+
+    def choose(self, engine: "AuroraEngine") -> str | None:
+        best_id: str | None = None
+        best_score = 0.0
+        for box_id in engine.box_order:
+            box = engine.network.boxes[box_id]
+            queued = box.queued()
+            if queued == 0:
+                continue
+            score = queued * max(self._urgency(engine, box_id), 1e-9)
+            if best_id is None or score > best_score:
+                best_id, best_score = box_id, score
+        return best_id
+
+    def _urgency(self, engine: "AuroraEngine", box_id: str) -> float:
+        urgency = 0.0
+        oldest = engine.oldest_queued_timestamp(box_id)
+        age = max(engine.clock - oldest, 0.0) if oldest is not None else 0.0
+        for output in engine.outputs_reachable_from(box_id):
+            spec = engine.qos_monitor.spec_for(output)
+            slope = -spec.latency.slope_at(age)  # downward slope -> positive urgency
+            urgency = max(urgency, spec.importance * max(slope, 0.0))
+        return urgency
+
+
+SCHEDULERS = {
+    cls.name: cls
+    for cls in (RoundRobinScheduler, LongestQueueScheduler, QoSScheduler)
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler discipline by name."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,125 @@
+"""Storage manager: queue buffering with spill to persistent store (Section 2.3).
+
+"Aurora also has a Storage Manager that is used to buffer queues when
+main memory runs out.  This is particularly important for queues at
+connection points since they can grow quite long."
+
+We model the buffer manager's *performance effect* rather than byte
+movement: every arc's queue is registered; when the total number of
+buffered tuples exceeds the memory budget, the excess tail of the
+longest queues is accounted as spilled, and consuming a spilled tuple
+charges a disk-read cost to the engine clock.  Connection-point queues
+are preferred spill victims because they are the long ones and their
+consumers (ad-hoc queries) are latency-insensitive.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Arc, QueryNetwork
+
+
+class StorageManager:
+    """Tracks buffered tuples across all arcs and accounts spill I/O.
+
+    Args:
+        memory_budget: maximum tuples held in memory across all queues.
+        write_cost: virtual seconds charged per spilled tuple write.
+        read_cost: virtual seconds charged per spilled tuple read-back.
+    """
+
+    def __init__(
+        self,
+        memory_budget: int = 10_000,
+        write_cost: float = 0.0001,
+        read_cost: float = 0.0001,
+    ):
+        if memory_budget < 1:
+            raise ValueError("memory_budget must be >= 1")
+        self.memory_budget = memory_budget
+        self.write_cost = write_cost
+        self.read_cost = read_cost
+        self._spilled: dict[str, int] = {}
+        self.tuples_spilled = 0
+        self.tuples_unspilled = 0
+        self.io_time = 0.0
+
+    def spilled_on(self, arc: Arc) -> int:
+        """Tuples of ``arc``'s queue currently accounted as on disk."""
+        return self._spilled.get(arc.id, 0)
+
+    def total_in_memory(self, network: QueryNetwork) -> int:
+        queued = network.total_queued()
+        return queued - sum(self._spilled.values())
+
+    def rebalance(self, network: QueryNetwork) -> float:
+        """Spill or unspill to respect the memory budget.
+
+        Returns the I/O time charged by this call (the engine adds it
+        to its virtual clock).
+        """
+        charged = 0.0
+        overflow = self.total_in_memory(network) - self.memory_budget
+        if overflow > 0:
+            charged += self._spill(network, overflow)
+        else:
+            charged += self._unspill(network, -overflow)
+        self.io_time += charged
+        return charged
+
+    def _victim_order(self, network: QueryNetwork) -> list[Arc]:
+        # Connection-point arcs first (the paper's long queues), then by
+        # in-memory queue length descending.
+        def sort_key(arc: Arc) -> tuple[int, int]:
+            is_cp = 0 if arc.connection_point is not None else 1
+            in_memory = len(arc.queue) - self.spilled_on(arc)
+            return (is_cp, -in_memory)
+
+        return sorted(network.arcs.values(), key=sort_key)
+
+    def _spill(self, network: QueryNetwork, amount: int) -> float:
+        charged = 0.0
+        for arc in self._victim_order(network):
+            if amount <= 0:
+                break
+            in_memory = len(arc.queue) - self.spilled_on(arc)
+            take = min(amount, in_memory)
+            if take <= 0:
+                continue
+            self._spilled[arc.id] = self.spilled_on(arc) + take
+            self.tuples_spilled += take
+            charged += take * self.write_cost
+            amount -= take
+        return charged
+
+    def _unspill(self, network: QueryNetwork, headroom: int) -> float:
+        charged = 0.0
+        if headroom <= 0:
+            return charged
+        for arc_id in list(self._spilled):
+            if headroom <= 0:
+                break
+            bring_back = min(headroom, self._spilled[arc_id])
+            self._spilled[arc_id] -= bring_back
+            if self._spilled[arc_id] == 0:
+                del self._spilled[arc_id]
+            self.tuples_unspilled += bring_back
+            charged += bring_back * self.read_cost
+            headroom -= bring_back
+        return charged
+
+    def charge_consume(self, arc: Arc) -> float:
+        """Account for a box consuming one tuple from ``arc``.
+
+        If the arc has spilled tuples and its in-memory portion is
+        exhausted, one spilled tuple must be read back; the read cost is
+        returned for the engine to charge.
+        """
+        spilled = self.spilled_on(arc)
+        if spilled and len(arc.queue) <= spilled:
+            self._spilled[arc.id] = spilled - 1
+            if self._spilled[arc.id] == 0:
+                del self._spilled[arc.id]
+            self.tuples_unspilled += 1
+            self.io_time += self.read_cost
+            return self.read_cost
+        return 0.0

@@ -1,0 +1,102 @@
+"""Query-network visualization: Graphviz export and ASCII description.
+
+Aurora queries "are constructed using a box-and-arrow based graphical
+user interface" (Section 2.2); this module is the inverse direction —
+rendering a constructed network so humans can inspect what load
+management has done to it (splits and slides rewrite topology at run
+time).
+"""
+
+from __future__ import annotations
+
+from repro.core.query import QueryNetwork
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(network: QueryNetwork, placement: dict[str, str] | None = None) -> str:
+    """Render a network as Graphviz DOT.
+
+    Args:
+        placement: optional box->node map (an Aurora* deployment);
+            boxes are clustered by node when given.
+    """
+    lines = [f'digraph "{_escape(network.name)}" {{', "  rankdir=LR;"]
+    for name in sorted(network.inputs):
+        lines.append(f'  "in:{_escape(name)}" [shape=cds, style=filled, fillcolor="#cde"];')
+    for name in sorted(network.outputs):
+        lines.append(f'  "out:{_escape(name)}" [shape=cds, style=filled, fillcolor="#dec"];')
+
+    if placement:
+        by_node: dict[str, list[str]] = {}
+        for box_id, node in placement.items():
+            if box_id in network.boxes:
+                by_node.setdefault(node, []).append(box_id)
+        for index, (node, boxes) in enumerate(sorted(by_node.items())):
+            lines.append(f'  subgraph "cluster_{index}" {{')
+            lines.append(f'    label="{_escape(node)}";')
+            for box_id in sorted(boxes):
+                lines.append(f"    {_box_decl(network, box_id)}")
+            lines.append("  }")
+        placed = set(placement)
+        rest = sorted(set(network.boxes) - placed)
+    else:
+        rest = sorted(network.boxes)
+    for box_id in rest:
+        lines.append(f"  {_box_decl(network, box_id)}")
+
+    for arc in network.arcs.values():
+        src_kind, src_ref = arc.source
+        dst_kind, dst_ref = arc.target
+        src = f"in:{src_ref}" if src_kind == "in" else str(src_kind)
+        dst = f"out:{dst_ref}" if dst_kind == "out" else str(dst_kind)
+        attrs = []
+        if arc.connection_point is not None:
+            attrs.append('label="CP"')
+            attrs.append("style=bold")
+        if len(arc.queue) > 0:
+            attrs.append(f'taillabel="{len(arc.queue)}"')
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}"{suffix};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _box_decl(network: QueryNetwork, box_id: str) -> str:
+    box = network.boxes[box_id]
+    label = f"{box_id}\\n{box.operator.describe()}"
+    return f'"{_escape(box_id)}" [shape=box, label="{_escape(label)}"];'
+
+
+def describe(network: QueryNetwork) -> str:
+    """A compact, human-readable listing of the network's topology."""
+    lines = [f"QueryNetwork {network.name!r}:"]
+    for name in sorted(network.inputs):
+        targets = ", ".join(
+            _endpoint(arc.target)
+            + (" [CP]" if arc.connection_point is not None else "")
+            for arc in network.inputs[name]
+        )
+        lines.append(f"  in:{name} -> {targets}")
+    for box_id in network.topological_order():
+        box = network.boxes[box_id]
+        outs = []
+        for port in sorted(box.output_arcs):
+            for arc in box.output_arcs[port]:
+                marker = " [CP]" if arc.connection_point is not None else ""
+                port_prefix = f"[{port}]" if box.operator.n_outputs > 1 else ""
+                outs.append(f"{port_prefix}{_endpoint(arc.target)}{marker}")
+        arrow = ", ".join(outs) if outs else "(unconnected)"
+        lines.append(f"  {box_id} <{box.operator.describe()}> -> {arrow}")
+    return "\n".join(lines)
+
+
+def _endpoint(endpoint: tuple) -> str:
+    kind, ref = endpoint
+    if kind == "out":
+        return f"out:{ref}"
+    if ref in (0, "0"):
+        return str(kind)
+    return f"{kind}:{ref}"

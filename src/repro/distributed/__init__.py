@@ -1,0 +1,79 @@
+"""Aurora*: intra-participant distribution (paper Sections 3.1, 5, 7.1).
+
+Multiple single-node Aurora servers in one administrative domain
+cooperate to run a query network: boxes are placed on nodes, arcs
+between nodes become overlay transfers, and decentralized pairwise
+load management repartitions the network at run time via box *sliding*
+and box *splitting*.  QoS specifications, defined only at outputs, are
+inferred for internal nodes.
+"""
+
+from repro.distributed.adaptive import (
+    AdaptiveSplitPredicate,
+    observed_imbalance,
+    rebalance_split,
+)
+from repro.distributed.connection_points import (
+    ConnectionPointError,
+    ConnectionPointReplica,
+    read_history_from,
+    replication_pays_off,
+    split_connection_point,
+)
+from repro.distributed.daemon import LoadShareDaemon, start_daemons
+from repro.distributed.heartbeat import HeartbeatMonitor
+from repro.distributed.node import AuroraNode
+from repro.distributed.policy import (
+    Thresholds,
+    attribute_threshold_predicate,
+    bandwidth_delta,
+    choose_offload_candidate,
+    cpu_relief,
+    hash_fraction_predicate,
+    hottest_box,
+)
+from repro.distributed.qos_inference import QoSInference
+from repro.distributed.sliding import (
+    SlideError,
+    slide_box,
+    slide_upstream_saves_bandwidth,
+)
+from repro.distributed.splitting import (
+    SplitError,
+    SplitResult,
+    split_box,
+    split_box_distributed,
+)
+from repro.distributed.system import AuroraStarSystem, DeploymentError
+
+__all__ = [
+    "AdaptiveSplitPredicate",
+    "AuroraNode",
+    "HeartbeatMonitor",
+    "observed_imbalance",
+    "rebalance_split",
+    "ConnectionPointError",
+    "ConnectionPointReplica",
+    "read_history_from",
+    "replication_pays_off",
+    "split_connection_point",
+    "AuroraStarSystem",
+    "DeploymentError",
+    "LoadShareDaemon",
+    "QoSInference",
+    "SlideError",
+    "SplitError",
+    "SplitResult",
+    "Thresholds",
+    "attribute_threshold_predicate",
+    "bandwidth_delta",
+    "choose_offload_candidate",
+    "cpu_relief",
+    "hash_fraction_predicate",
+    "hottest_box",
+    "slide_box",
+    "slide_upstream_saves_bandwidth",
+    "split_box",
+    "split_box_distributed",
+    "start_daemons",
+]

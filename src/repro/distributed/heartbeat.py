@@ -1,0 +1,148 @@
+"""Heartbeat-based failure detection on the overlay (Section 6.3).
+
+"Each server sends periodic heartbeat messages to its upstream
+neighbors.  If a server does not hear from its downstream neighbor for
+some predetermined time period, it considers that its neighbor failed,
+and it initiates a recovery procedure."
+
+The monitor derives the watch relation from the current placement:
+whenever an arc crosses from node U to node D, U (the upstream backup)
+watches D.  Every ``interval`` of virtual time each live node
+heartbeats its watchers over the overlay (real messages, counted on
+links); a watcher that has not heard from a neighbor for
+``miss_threshold`` intervals declares it failed and fires the
+registered callbacks — the hook where recovery (Section 6) or daemon
+re-routing would engage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.network.overlay import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distributed.system import AuroraStarSystem
+
+DetectionCallback = Callable[[str, str, float], None]  # (watcher, failed, time)
+
+
+class HeartbeatMonitor:
+    """Periodic heartbeats plus staleness-based failure detection.
+
+    Args:
+        system: the Aurora* deployment.
+        interval: heartbeat period (virtual seconds).
+        miss_threshold: consecutive silent intervals before a neighbor
+            is declared failed (the "predetermined time period" is
+            ``interval * miss_threshold``).
+    """
+
+    HEARTBEAT_SIZE = 16
+
+    def __init__(
+        self,
+        system: "AuroraStarSystem",
+        interval: float = 0.1,
+        miss_threshold: int = 3,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.system = system
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self._last_heard: dict[tuple[str, str], float] = {}
+        self._declared: set[str] = set()
+        self._callbacks: list[DetectionCallback] = []
+        self.detections: list[tuple[float, str, str]] = []
+        self.heartbeats_sent = 0
+        self._running = False
+        for node in system.nodes.values():
+            node.overlay_node.on("heartbeat", self._on_heartbeat)
+
+    # -- watch relation ---------------------------------------------------------
+
+    def watch_pairs(self) -> list[tuple[str, str]]:
+        """(watcher, watched) pairs: upstream node watches downstream.
+
+        Derived from arcs whose producer and consumer live on
+        different nodes under the *current* placement, so slides and
+        splits update the relation automatically.
+        """
+        pairs = set()
+        for arc in self.system.network.arcs.values():
+            src_kind, _ = arc.source
+            dst_kind, _ = arc.target
+            if src_kind in ("in",) or dst_kind in ("out",):
+                continue
+            upstream = self.system.placement.get(str(src_kind))
+            downstream = self.system.placement.get(str(dst_kind))
+            if upstream and downstream and upstream != downstream:
+                pairs.add((upstream, downstream))
+        return sorted(pairs)
+
+    # -- protocol -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin heartbeating (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        now = self.system.sim.now
+        for pair in self.watch_pairs():
+            self._last_heard.setdefault(pair, now)
+        self.system.sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        now = self.system.sim.now
+        for watcher, watched in self.watch_pairs():
+            self._last_heard.setdefault((watcher, watched), now)
+            node = self.system.nodes[watched]
+            if not node.failed:
+                message = Message(
+                    "heartbeat", {"from": watched, "to": watcher},
+                    size=self.HEARTBEAT_SIZE,
+                )
+                self.system.overlay.send(watched, watcher, message)
+                self.heartbeats_sent += 1
+        self._check_staleness(now)
+        self.system.sim.schedule(self.interval, self._tick)
+
+    def _on_heartbeat(self, message: Message) -> None:
+        watched = str(message.payload["from"])
+        watcher = str(message.payload["to"])
+        self._last_heard[(watcher, watched)] = self.system.sim.now
+        # A heartbeat from a declared-failed node means it recovered.
+        self._declared.discard(watched)
+
+    def _check_staleness(self, now: float) -> None:
+        deadline = self.interval * self.miss_threshold
+        for (watcher, watched), heard in sorted(self._last_heard.items()):
+            if watched in self._declared:
+                continue
+            if self.system.nodes[watcher].failed:
+                # A crashed watcher observes nothing: it raises no
+                # alarms (its own failure is its upstream's problem).
+                continue
+            if now - heard > deadline:
+                self._declared.add(watched)
+                self.detections.append((now, watcher, watched))
+                for callback in self._callbacks:
+                    callback(watcher, watched, now)
+
+    def on_detection(self, callback: DetectionCallback) -> None:
+        """Register a callback fired once per declared failure."""
+        self._callbacks.append(callback)
+
+    def declared_failed(self) -> set[str]:
+        """Nodes currently considered failed by some watcher."""
+        return set(self._declared)
+
+    def detection_latency(self, fail_time: float, node: str) -> float | None:
+        """Virtual time from a known failure instant to its detection."""
+        for when, _watcher, watched in self.detections:
+            if watched == node and when >= fail_time:
+                return when - fail_time
+        return None

@@ -1,0 +1,249 @@
+"""A single Aurora node inside an Aurora* deployment (Section 3.1).
+
+"Each Aurora node supporting the running system will continuously
+monitor its local operation, its workload, and available resources."
+
+A node processes trains of tuples for the boxes placed on it, charging
+CPU time on the simulator clock; emissions whose consumers live on
+other nodes become overlay messages (batched per destination arc).
+Nodes expose the load statistics the load-share daemon (Section 5)
+reads, and the failure hooks the HA machinery (Section 6) drives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.query import Arc, Box
+from repro.core.tuples import StreamTuple
+from repro.network.overlay import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distributed.system import AuroraStarSystem
+
+
+class AuroraNode:
+    """One server of the Aurora* deployment.
+
+    Args:
+        system: the owning Aurora* system.
+        name: overlay address of the node.
+        cpu_capacity: CPU-seconds of box work completed per virtual
+            second (relative node speed).
+        train_size: tuples processed per scheduling decision.
+        scheduling_overhead: virtual seconds charged per decision.
+    """
+
+    def __init__(
+        self,
+        system: "AuroraStarSystem",
+        name: str,
+        cpu_capacity: float = 1.0,
+        train_size: int = 20,
+        scheduling_overhead: float = 0.0002,
+    ):
+        if cpu_capacity <= 0:
+            raise ValueError("cpu_capacity must be positive")
+        self.system = system
+        self.name = name
+        self.cpu_capacity = cpu_capacity
+        self.train_size = train_size
+        self.scheduling_overhead = scheduling_overhead
+        self.overlay_node = system.overlay.add_node(name)
+        self.overlay_node.on("tuples", self._on_tuples)
+        # Control messages (slide state transfers, split negotiation)
+        # carry their effects via the migration protocol itself; the
+        # handler only acknowledges receipt.
+        self.overlay_node.on("control", lambda _message: None)
+        # Every node answers load probes (Section 5.1's pairwise
+        # interactions), whether or not it runs its own daemon.
+        self.overlay_node.on("load_probe", self._on_load_probe)
+        self.overlay_node.on("load_reply", lambda _message: None)
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+        self.tuples_processed = 0
+        self.failed = False
+        self._work_scheduled = False
+
+    # -- ingress --------------------------------------------------------------
+
+    def enqueue_local(self, arc: Arc, tuples: list[StreamTuple]) -> None:
+        """Queue tuples on an arc whose consumer this node hosts."""
+        if self.failed:
+            return
+        for tup in tuples:
+            arc.push(tup)
+        self.kick()
+
+    def _on_tuples(self, message: Message) -> None:
+        """Handle a remote tuple batch: {"arc": arc_id, "tuples": [...]}."""
+        payload = message.payload
+        arc = self.system.network.arcs.get(payload["arc"])
+        if arc is None:
+            return  # arc was removed by a network transformation
+        kind, ref = arc.target
+        if kind == "out":
+            for tup in payload["tuples"]:
+                self.system.deliver_output(str(ref), tup)
+            return
+        # The consumer may have migrated after the message was sent;
+        # forward to wherever it lives now.
+        owner = self.system.place(str(kind))
+        if owner != self.name:
+            self.system.nodes[owner].enqueue_local(arc, payload["tuples"])
+            return
+        self.enqueue_local(arc, payload["tuples"])
+
+    # -- scheduling loop ----------------------------------------------------------
+
+    def kick(self) -> None:
+        """Ensure a work event is pending (idempotent)."""
+        if self.failed or self._work_scheduled:
+            return
+        self._work_scheduled = True
+        start = max(self.system.sim.now, self.busy_until)
+        self.system.sim.schedule_at(start, self._work)
+
+    def _choose_box(self) -> Box | None:
+        """Longest-queue-first among this node's runnable boxes."""
+        best: Box | None = None
+        best_queued = 0
+        for box_id in self.system.boxes_on(self.name):
+            if box_id in self.system.migrating:
+                continue
+            box = self.system.network.boxes[box_id]
+            queued = box.queued()
+            if queued > best_queued:
+                best, best_queued = box, queued
+        return best
+
+    def _work(self) -> None:
+        self._work_scheduled = False
+        if self.failed:
+            return
+        box = self._choose_box()
+        if box is None:
+            return
+        consumed, emissions = self._process_train(box)
+        now = self.system.sim.now
+        self.busy_until = now + consumed
+        self.busy_time += consumed
+        # Emissions appear when the train finishes.
+        self.system.sim.schedule_at(self.busy_until, self._complete, box, emissions)
+
+    def _process_train(
+        self, box: Box
+    ) -> tuple[float, list[tuple[int, StreamTuple]]]:
+        consumed = self.scheduling_overhead
+        emissions: list[tuple[int, StreamTuple]] = []
+        budget = self.train_size
+        while budget > 0:
+            arc = self._nonempty_input(box)
+            if arc is None:
+                break
+            tup = arc.queue.popleft()
+            port = int(arc.target[1])
+            consumed += box.operator.cost_per_tuple / self.cpu_capacity
+            box.tuples_in += 1
+            self.tuples_processed += 1
+            out = box.operator.process(tup, port=port)
+            box.tuples_out += len(out)
+            emissions.extend(out)
+            budget -= 1
+        box.busy_time += consumed
+        box.latency_sum += consumed  # coarse T_B contribution per train
+        box.latency_count += 1
+        return consumed, emissions
+
+    @staticmethod
+    def _nonempty_input(box: Box) -> Arc | None:
+        oldest: Arc | None = None
+        oldest_ts = float("inf")
+        for arc in box.input_arcs.values():
+            if arc.queue and arc.queue[0].timestamp < oldest_ts:
+                oldest, oldest_ts = arc, arc.queue[0].timestamp
+        return oldest
+
+    def _complete(self, box: Box, emissions: list[tuple[int, StreamTuple]]) -> None:
+        if self.failed:
+            return
+        self.route_emissions(box, emissions)
+        if box.queued() > 0 or self._choose_box() is not None:
+            self.kick()
+
+    # -- egress -----------------------------------------------------------------
+
+    def route_emissions(self, box: Box, emissions: list[tuple[int, StreamTuple]]) -> None:
+        """Deliver a train's outputs: locally, to applications, or remotely.
+
+        Remote tuples are batched per destination arc into one message
+        (size = header + n * tuple_bytes).
+        """
+        remote_batches: dict[tuple[str, str], list[StreamTuple]] = {}
+        for out_port, tup in emissions:
+            for arc in box.output_arcs.get(out_port, []):
+                kind, ref = arc.target
+                if kind == "out":
+                    self.system.deliver_output(str(ref), tup)
+                    continue
+                owner = self.system.place(str(kind))
+                if owner == self.name:
+                    arc.push(tup)
+                else:
+                    remote_batches.setdefault((owner, arc.id), []).append(tup)
+        self.kick()
+        for (owner, arc_id), tuples in sorted(remote_batches.items()):
+            size = self.system.message_header_bytes + len(tuples) * self.system.tuple_bytes
+            message = Message("tuples", {"arc": arc_id, "tuples": tuples}, size=size)
+            self.system.overlay.send(self.name, owner, message)
+
+    def drain_box(self, box_id: str) -> None:
+        """Synchronously process everything queued at one box (flush path).
+
+        Charges the CPU time but performs the work immediately; used by
+        end-of-stream flushing and by migration stabilization
+        ("any tuples that are queued within S are allowed to drain off").
+        """
+        box = self.system.network.boxes[box_id]
+        while box.queued() > 0:
+            consumed, emissions = self._process_train(box)
+            self.busy_time += consumed
+            self.route_emissions(box, emissions)
+
+    def _on_load_probe(self, message: Message) -> None:
+        """Answer a neighbor's load probe with this node's backlog."""
+        period = float(message.payload.get("period", 1.0))
+        reply = Message(
+            "load_reply",
+            {"from": self.name, "load": self.queued_work() / period},
+            size=24,
+        )
+        self.system.overlay.send(self.name, str(message.payload["from"]), reply)
+        self.system.control_messages += 1
+
+    # -- load signals ---------------------------------------------------------------
+
+    def queued_work(self) -> float:
+        """CPU-seconds of work queued at this node's boxes."""
+        total = 0.0
+        for box_id in self.system.boxes_on(self.name):
+            box = self.system.network.boxes[box_id]
+            total += box.queued() * box.operator.cost_per_tuple
+        return total / self.cpu_capacity
+
+    # -- failures (Section 6) ----------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash-stop: stop processing and drop all traffic."""
+        self.failed = True
+        self.overlay_node.fail()
+
+    def recover(self) -> None:
+        self.failed = False
+        self.overlay_node.recover()
+        self.busy_until = self.system.sim.now
+        self.kick()
+
+    def __repr__(self) -> str:
+        state = "failed" if self.failed else "up"
+        return f"AuroraNode({self.name}, cpu={self.cpu_capacity:g}, {state})"

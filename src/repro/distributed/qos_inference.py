@@ -1,0 +1,135 @@
+"""QoS inference for internal nodes (Section 7.1, Figure 9).
+
+"Because QoS expectations are defined only at the output nodes, the
+corresponding specifications for the internal nodes must be properly
+inferred. ... we assume that the system has access to the average
+processing cost and the selectivity of each box. ... A QoS
+specification at the output of some box B is a function of time t and
+can be written as Q_o(t).  Assume that box B takes, on average, T_B
+units of time for a tuple arriving at its input to be processed
+completely. ... The QoS specification Q_i(t) at box B's input would be
+Q_o(t + T_B).  This simple technique can be applied across an arbitrary
+number of Aurora boxes to compute an estimated latency graph for any
+arc in the system."
+"""
+
+from __future__ import annotations
+
+from repro.core.qos import QoSSpec
+from repro.core.query import QueryNetwork
+
+
+class QoSInference:
+    """Inferred QoS specifications for every arc of a network.
+
+    Args:
+        network: the query network (after it has run, if measured
+            per-box times are to be used).
+        output_specs: the application-supplied specs, one per output.
+        use_measured: prefer each box's measured average time
+            (:attr:`Box.average_time`, which includes queueing) and
+            fall back to the configured ``cost_per_tuple`` when a box
+            has not yet processed anything.
+
+    Attributes:
+        box_input_specs: ``{box_id: {output: QoSSpec}}`` — the spec that
+            should govern resource decisions at each box's input, per
+            downstream output.
+        downstream_time: ``{box_id: {output: float}}`` — the estimated
+            latency a tuple accumulates from the box's input to each
+            reachable output (the "estimated latency graph").
+    """
+
+    def __init__(
+        self,
+        network: QueryNetwork,
+        output_specs: dict[str, QoSSpec],
+        use_measured: bool = True,
+    ):
+        unknown = set(output_specs) - set(network.outputs)
+        if unknown:
+            raise KeyError(f"specs given for unknown outputs: {sorted(unknown)}")
+        self.network = network
+        self.output_specs = dict(output_specs)
+        self.use_measured = use_measured
+        self.box_input_specs: dict[str, dict[str, QoSSpec]] = {}
+        self.downstream_time: dict[str, dict[str, float]] = {}
+        self._infer()
+
+    def _t_b(self, box_id: str) -> float:
+        box = self.network.boxes[box_id]
+        if self.use_measured and box.latency_count > 0:
+            return box.average_time
+        return box.operator.cost_per_tuple
+
+    def _infer(self) -> None:
+        # Walk boxes in reverse topological order, pushing specs upstream.
+        order = self.network.topological_order()
+        # Specs at each box's *output* side, per reachable output stream.
+        output_side: dict[str, dict[str, QoSSpec]] = {b: {} for b in order}
+        output_side_time: dict[str, dict[str, float]] = {b: {} for b in order}
+
+        for output_name, arc in self.network.outputs.items():
+            spec = self.output_specs.get(output_name)
+            if spec is None:
+                continue
+            kind, _ref = arc.source
+            if kind != "in":
+                output_side[str(kind)][output_name] = spec
+                output_side_time[str(kind)][output_name] = 0.0
+
+        for box_id in reversed(order):
+            t_b = self._t_b(box_id)
+            box = self.network.boxes[box_id]
+            input_specs = {
+                out: spec.inferred_upstream(t_b)
+                for out, spec in output_side[box_id].items()
+            }
+            input_times = {
+                out: t + t_b for out, t in output_side_time[box_id].items()
+            }
+            self.box_input_specs[box_id] = input_specs
+            self.downstream_time[box_id] = input_times
+            # Push to upstream producers: the spec at this box's input is
+            # the spec at the upstream box's output.
+            for arc in box.input_arcs.values():
+                kind, _ref = arc.source
+                if kind == "in":
+                    continue
+                upstream = str(kind)
+                for out, spec in input_specs.items():
+                    current = output_side[upstream].get(out)
+                    # A producer feeding several paths to the same output
+                    # keeps the *most stringent* (smallest time budget)
+                    # inferred spec.
+                    if current is None or input_times[out] > output_side_time[upstream].get(out, -1.0):
+                        output_side[upstream][out] = spec
+                        output_side_time[upstream][out] = input_times[out]
+
+    def spec_at(self, box_id: str, output: str) -> QoSSpec:
+        """The inferred spec at a box's input for one downstream output."""
+        try:
+            return self.box_input_specs[box_id][output]
+        except KeyError:
+            raise KeyError(
+                f"box {box_id!r} has no inferred spec for output {output!r} "
+                "(not downstream, or no spec supplied)"
+            ) from None
+
+    def latency_budget(self, box_id: str, output: str, utility_floor: float = 0.5) -> float:
+        """Largest latency at the box's input keeping utility >= the floor.
+
+        This is the number a local scheduler compares its queue ages
+        against.  Found by scanning the inferred graph's breakpoints.
+        """
+        spec = self.spec_at(box_id, output)
+        points = spec.latency.points
+        budget = points[0][0] if points[0][1] >= utility_floor else -float("inf")
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if y1 >= utility_floor:
+                budget = max(budget, x1)
+            elif y0 >= utility_floor > y1:
+                # Linear crossing of the floor within this segment.
+                crossing = x0 + (y0 - utility_floor) * (x1 - x0) / (y0 - y1)
+                budget = max(budget, crossing)
+        return budget

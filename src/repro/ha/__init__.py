@@ -1,0 +1,79 @@
+"""High availability (paper Section 6).
+
+A stream-oriented backup-and-recovery approach shared by Aurora* and
+Medusa:
+
+* **k-safety** (Section 6.2): tuples in transit at each server are kept
+  at k upstream servers; an upstream backup "simply holds on to a tuple
+  it has processed until its primary server tells it to discard it".
+* **Queue truncation**: flow messages record, per server, the earliest
+  upstream tuples a server's state depends on; back-channel messages
+  let upstream servers truncate their output queues.  An alternative
+  sequence-number-array scheme is also implemented.
+* **Failure detection and recovery** (Section 6.3): heartbeats from
+  downstream to upstream neighbors; on failure the backup replays its
+  output log, emulating the failed server.
+* **The recovery/overhead spectrum** (Section 6.4): a process-pair
+  baseline (checkpoint per message, minimal recovery work) and K
+  virtual machines per server interpolating between upstream backup
+  and process pairs.
+"""
+
+from repro.ha.chain import (
+    HAServer,
+    HATuple,
+    ServerChain,
+    ServerOp,
+    SourceNode,
+    StatelessOp,
+    WindowOp,
+    latest_lineage,
+    merge_lineage,
+)
+from repro.ha.flow import (
+    FlowMessage,
+    FlowProtocol,
+    FlowRecord,
+    SequenceNumberArray,
+)
+from repro.ha.process_pair import ProcessPairChain, ProcessPairServer
+from repro.ha.recovery import (
+    ExperimentResult,
+    RecoveryError,
+    RecoveryStats,
+    fail_server,
+    recover,
+    run_failure_experiment,
+)
+from repro.ha.virtual_machines import (
+    VirtualMachineChain,
+    VMStage,
+    partition_ops,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "FlowMessage",
+    "FlowProtocol",
+    "FlowRecord",
+    "HAServer",
+    "HATuple",
+    "ProcessPairChain",
+    "ProcessPairServer",
+    "RecoveryError",
+    "RecoveryStats",
+    "SequenceNumberArray",
+    "ServerChain",
+    "ServerOp",
+    "SourceNode",
+    "StatelessOp",
+    "VMStage",
+    "VirtualMachineChain",
+    "WindowOp",
+    "fail_server",
+    "latest_lineage",
+    "merge_lineage",
+    "partition_ops",
+    "recover",
+    "run_failure_experiment",
+]

@@ -1,0 +1,67 @@
+"""Medusa: inter-participant federated operation (Sections 3.2, 7.2).
+
+An agoric system regulating collaboration between autonomous
+participants: an economy of dollars, content/suggested/movement
+contracts, oracles that switch query plans at run time, and remote
+definition in place of process migration.
+"""
+
+from repro.medusa.availability import AvailabilityTracker, ContractRecord
+from repro.medusa.bridge import BridgeError, StreamBridge, open_bridge
+from repro.medusa.contracts import (
+    ContentContract,
+    ContractError,
+    MovementContract,
+    MovementPlan,
+    SuggestedContract,
+)
+from repro.medusa.economy import Economy, EconomyError, LedgerEntry
+from repro.medusa.federation import (
+    FederatedQuery,
+    Federation,
+    FederationError,
+    QueryStage,
+    StageFlow,
+)
+from repro.medusa.oracle import Oracle, make_movement_contract, negotiate, run_market
+from repro.medusa.participant import Participant
+from repro.medusa.removal import apply_removal, propose_removal, stages_hosted_by
+from repro.medusa.remote import (
+    RemoteDefinitionError,
+    RemoteOperator,
+    content_customization_savings,
+    remote_define,
+)
+
+__all__ = [
+    "AvailabilityTracker",
+    "BridgeError",
+    "ContractRecord",
+    "StreamBridge",
+    "open_bridge",
+    "ContentContract",
+    "ContractError",
+    "Economy",
+    "EconomyError",
+    "FederatedQuery",
+    "Federation",
+    "FederationError",
+    "LedgerEntry",
+    "MovementContract",
+    "MovementPlan",
+    "Oracle",
+    "Participant",
+    "QueryStage",
+    "RemoteDefinitionError",
+    "RemoteOperator",
+    "StageFlow",
+    "SuggestedContract",
+    "apply_removal",
+    "content_customization_savings",
+    "propose_removal",
+    "stages_hosted_by",
+    "make_movement_contract",
+    "negotiate",
+    "remote_define",
+    "run_market",
+]

@@ -1,0 +1,116 @@
+"""Availability guarantees on content contracts (Section 7.2).
+
+"An optional availability clause can be added to specify the amount of
+outage that can be tolerated, as a guarantee on the fraction of
+uptime."
+
+The tracker observes market rounds: a contract whose seller (or the
+full delivery path of its query) is down records a missed round.  When
+a contract's observed uptime drops below its guaranteed
+``availability``, the seller is in breach and owes the buyer a penalty
+proportional to the shortfall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.medusa.contracts import ContentContract
+from repro.medusa.federation import Federation
+
+
+@dataclass
+class ContractRecord:
+    """Observed service history of one content contract."""
+
+    contract: ContentContract
+    rounds_observed: int = 0
+    rounds_served: int = 0
+    recent_payments: list[float] = field(default_factory=list)
+
+    @property
+    def uptime(self) -> float:
+        if self.rounds_observed == 0:
+            return 1.0
+        return self.rounds_served / self.rounds_observed
+
+    @property
+    def in_breach(self) -> bool:
+        return self.uptime < self.contract.availability - 1e-12
+
+    def average_round_payment(self) -> float:
+        if not self.recent_payments:
+            return 0.0
+        return sum(self.recent_payments) / len(self.recent_payments)
+
+
+class AvailabilityTracker:
+    """Watches a federation's contracts and settles breach penalties."""
+
+    def __init__(self, federation: Federation):
+        self.federation = federation
+        self.records: dict[tuple[str, str, str], ContractRecord] = {}
+        self.penalties_paid: float = 0.0
+
+    def _record_for(self, query_name: str, contract: ContentContract) -> ContractRecord:
+        key = (query_name, contract.sender, contract.receiver)
+        record = self.records.get(key)
+        if record is None or record.contract is not contract:
+            record = ContractRecord(contract)
+            self.records[key] = record
+        return record
+
+    def observe_round(self) -> None:
+        """Call once after each :meth:`Federation.run_round`.
+
+        For every query boundary, the contract either served this round
+        (query operational) or missed it.
+        """
+        fed = self.federation
+        for query_name, query in fed.queries.items():
+            served = fed.query_operational(query)
+            for seller, buyer, messages, price in fed.boundaries(query):
+                contract = fed._contract_for(query, seller, buyer, price)
+                record = self._record_for(query_name, contract)
+                record.rounds_observed += 1
+                if served:
+                    record.rounds_served += 1
+                    record.recent_payments.append(
+                        contract.subscription + price * messages
+                    )
+
+    def breaches(self) -> list[ContractRecord]:
+        """Contracts currently below their guaranteed uptime."""
+        return [r for r in self.records.values() if r.in_breach]
+
+    def settle_penalties(self, penalty_factor: float = 1.0) -> float:
+        """Charge breaching sellers; returns total dollars transferred.
+
+        The penalty per breach is the uptime shortfall times the rounds
+        observed times the contract's average round payment, scaled by
+        ``penalty_factor`` — i.e., the buyer is (at factor 1.0) made
+        whole for the service it paid for but did not receive.
+        """
+        if penalty_factor < 0:
+            raise ValueError("penalty_factor must be non-negative")
+        total = 0.0
+        for record in self.breaches():
+            contract = record.contract
+            shortfall = contract.availability - record.uptime
+            penalty = (
+                penalty_factor
+                * shortfall
+                * record.rounds_observed
+                * record.average_round_payment()
+            )
+            if penalty <= 0:
+                continue
+            self.federation.economy.transfer(
+                contract.sender,
+                contract.receiver,
+                penalty,
+                memo=f"availability-penalty:{contract.stream_name}",
+            )
+            total += penalty
+        self.penalties_paid += total
+        return total

@@ -1,0 +1,141 @@
+"""Bridging Aurora* deployments across participant boundaries (Section 3).
+
+"Our architecture splits the general problem into intra-participant
+distribution (a relatively small-scale distribution all within one
+administrative domain, handled by Aurora*) and inter-participant
+distribution (a large-scale distribution across administrative
+boundaries, handled by Medusa)."
+
+A :class:`StreamBridge` carries one named output stream of a sending
+participant's Aurora* deployment into a named input of the receiving
+participant's deployment, over a simulated wide-area hop, under a
+content contract: every delivered message is priced and settled on the
+federation economy — the "message stream that flows between them" a
+Medusa contract covers.
+
+"Explicit connections are opened for streams to cross participant
+boundaries.  These streams are then defined separately within each
+domain" (Section 4.2): the bridge is that explicit connection; the
+stream keeps its local name on each side.
+"""
+
+from __future__ import annotations
+
+from repro.core.tuples import StreamTuple
+from repro.distributed.system import AuroraStarSystem
+from repro.medusa.contracts import ContentContract
+from repro.medusa.economy import Economy
+from repro.sim import Simulator
+
+
+class BridgeError(RuntimeError):
+    """Raised for invalid bridge configurations."""
+
+
+class StreamBridge:
+    """One contracted inter-participant stream connection.
+
+    Args:
+        sim: the shared simulator (both deployments must use it, or
+            time would be incoherent across the boundary).
+        sender: the sending participant's Aurora* deployment.
+        output_name: the output stream leaving the sender.
+        receiver: the receiving participant's deployment.
+        input_name: the input stream entering the receiver.
+        contract: the content contract covering the stream.
+        economy: the federation economy settling the payments.
+        latency: wide-area hop latency (virtual seconds).
+        settle_every: settle accumulated messages in batches of this
+            size (per-message settlement at 1).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: AuroraStarSystem,
+        output_name: str,
+        receiver: AuroraStarSystem,
+        input_name: str,
+        contract: ContentContract,
+        economy: Economy,
+        latency: float = 0.02,
+        settle_every: int = 10,
+    ):
+        if sender.sim is not sim or receiver.sim is not sim:
+            raise BridgeError(
+                "both deployments must share the bridge's simulator"
+            )
+        if input_name not in receiver.network.inputs:
+            raise BridgeError(f"receiver has no input {input_name!r}")
+        if latency < 0:
+            raise BridgeError("latency must be non-negative")
+        if settle_every < 1:
+            raise BridgeError("settle_every must be >= 1")
+        self.sim = sim
+        self.sender = sender
+        self.receiver = receiver
+        self.output_name = output_name
+        self.input_name = input_name
+        self.contract = contract
+        self.economy = economy
+        self.latency = latency
+        self.settle_every = settle_every
+        self.messages_carried = 0
+        self.dollars_settled = 0.0
+        self._unsettled = 0
+        sender.subscribe_output(output_name, self._on_output)
+
+    def _on_output(self, tup: StreamTuple) -> None:
+        """A sender-side delivery: ship it across the boundary."""
+        self.messages_carried += 1
+        self._unsettled += 1
+        # The tuple is re-timestamped on arrival so the receiver's QoS
+        # measures its own domain's latency; lineage metadata survives.
+        self.sim.schedule(self.latency, self._arrive, tup)
+        if self._unsettled >= self.settle_every:
+            self.settle()
+
+    def _arrive(self, tup: StreamTuple) -> None:
+        self.receiver.push(self.input_name, tup.with_metadata(timestamp=self.sim.now))
+
+    def settle(self) -> float:
+        """Settle the accumulated messages under the content contract."""
+        if self._unsettled == 0:
+            return 0.0
+        paid = self.contract.settle(self.economy, self._unsettled)
+        self.dollars_settled += paid
+        self._unsettled = 0
+        return paid
+
+
+def open_bridge(
+    sim: Simulator,
+    sender: AuroraStarSystem,
+    output_name: str,
+    receiver: AuroraStarSystem,
+    input_name: str,
+    economy: Economy,
+    seller: str,
+    buyer: str,
+    price_per_message: float,
+    latency: float = 0.02,
+    settle_every: int = 10,
+) -> StreamBridge:
+    """Create the content contract and the bridge in one step."""
+    contract = ContentContract(
+        stream_name=f"{seller}/{output_name}",
+        sender=seller,
+        receiver=buyer,
+        price_per_message=price_per_message,
+    )
+    return StreamBridge(
+        sim,
+        sender,
+        output_name,
+        receiver,
+        input_name,
+        contract,
+        economy,
+        latency=latency,
+        settle_every=settle_every,
+    )

@@ -1,0 +1,151 @@
+"""The three Medusa contract types (Section 7.2).
+
+* **Content contracts** — "cover the payment by a receiving participant
+  for the stream to be sent by a sending participant": a stream name, a
+  time period, an optional availability guarantee, and a payment
+  (per-message or subscription).
+* **Suggested contracts** — "a participant P suggests to downstream
+  participants an alternate location (participant and stream name) from
+  where they should buy content currently provided by P.  Receiving
+  participants may ignore suggested contracts."
+* **Movement contracts** — "a set of distributed query plans and
+  corresponding inactive content contracts"; two oracles agree to
+  switch which plan (and hence which content contracts) is active,
+  providing dynamic load balancing across the participant boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.medusa.economy import Economy
+
+
+class ContractError(RuntimeError):
+    """Raised for malformed or mis-used contracts."""
+
+
+@dataclass
+class ContentContract:
+    """For *stream_name*, for *period* rounds, with *availability*
+    guarantee, pay *price_per_message* (or *subscription* per round)."""
+
+    stream_name: str
+    sender: str
+    receiver: str
+    price_per_message: float = 0.0
+    subscription: float = 0.0
+    period: int | None = None       # rounds of validity; None = open-ended
+    availability: float = 1.0       # guaranteed uptime fraction
+    active: bool = True
+    started_round: int = 0
+    messages_settled: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.price_per_message < 0 or self.subscription < 0:
+            raise ContractError("payments must be non-negative")
+        if not 0.0 <= self.availability <= 1.0:
+            raise ContractError("availability must be a fraction in [0, 1]")
+        if self.sender == self.receiver:
+            raise ContractError("a contract needs two distinct participants")
+
+    def expired(self, current_round: int) -> bool:
+        if self.period is None:
+            return False
+        return current_round >= self.started_round + self.period
+
+    def settle(self, economy: Economy, messages: int) -> float:
+        """Charge the receiver for one round of service; returns dollars paid.
+
+        "The receiving participant always pays the sender for a
+        stream."
+        """
+        if not self.active:
+            raise ContractError(f"contract for {self.stream_name!r} is not active")
+        if messages < 0:
+            raise ContractError("message count must be non-negative")
+        amount = self.subscription + self.price_per_message * messages
+        economy.transfer(
+            self.receiver, self.sender, amount, memo=f"content:{self.stream_name}"
+        )
+        self.messages_settled += messages
+        return amount
+
+
+@dataclass
+class SuggestedContract:
+    """P tells a receiver to buy a stream from someone else instead."""
+
+    suggester: str
+    receiver: str
+    stream_name: str
+    alternate_sender: str
+    alternate_stream: str
+    accepted: bool | None = None  # None = not yet decided; may be ignored
+
+    def accept(self) -> "SuggestedContract":
+        self.accepted = True
+        return self
+
+    def ignore(self) -> "SuggestedContract":
+        # "Receiving participants may ignore suggested contracts."
+        self.accepted = False
+        return self
+
+
+@dataclass
+class MovementPlan:
+    """One alternative in a movement contract: who hosts the stage."""
+
+    host: str
+    contracts: list[ContentContract] = field(default_factory=list)
+
+
+@dataclass
+class MovementContract:
+    """A per-query-crossing contract enabling box sliding across
+    participants ("There is a separate movement contract for each query
+    crossing the boundary between two participants")."""
+
+    query: str
+    stage: str
+    first: str
+    second: str
+    plans: dict[str, MovementPlan] = field(default_factory=dict)
+    active_plan: str | None = None
+    cancelled: bool = False
+    switches: int = 0
+
+    def add_plan(self, key: str, plan: MovementPlan) -> None:
+        if plan.host not in (self.first, self.second):
+            raise ContractError(
+                f"plan host {plan.host!r} is not a party to this contract"
+            )
+        self.plans[key] = plan
+
+    def activate(self, key: str) -> MovementPlan:
+        """Make one plan (and its content contracts) the active one."""
+        if self.cancelled:
+            raise ContractError("movement contract was cancelled")
+        if key not in self.plans:
+            raise ContractError(f"unknown plan {key!r}")
+        if self.active_plan is not None and key != self.active_plan:
+            for contract in self.plans[self.active_plan].contracts:
+                contract.active = False
+            self.switches += 1
+        plan = self.plans[key]
+        for contract in plan.contracts:
+            contract.active = True
+        self.active_plan = key
+        return plan
+
+    def cancel(self) -> None:
+        """Either participant may cancel at any time; cooperation then
+        reverts to whatever content contract is in place."""
+        self.cancelled = True
+
+    @property
+    def current_host(self) -> str:
+        if self.active_plan is None:
+            raise ContractError("no plan is active")
+        return self.plans[self.active_plan].host

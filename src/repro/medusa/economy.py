@@ -1,0 +1,83 @@
+"""The agoric substrate: dollars, accounts, transfers (Section 3.2).
+
+"Medusa is an agoric system, using economic principles to regulate
+participant collaborations ... Medusa uses a market mechanism with an
+underlying currency ('dollars') that backs these contracts."
+
+The economy is a closed ledger: every dollar credited somewhere is
+debited somewhere else, so total balance is conserved — an invariant
+the property tests lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class EconomyError(RuntimeError):
+    """Raised for unknown accounts or malformed transfers."""
+
+
+@dataclass
+class LedgerEntry:
+    """One settled transfer."""
+
+    round: int
+    payer: str
+    payee: str
+    amount: float
+    memo: str
+
+
+class Economy:
+    """Accounts and the transfer ledger for one federation.
+
+    Accounts may go negative: the paper's participants "are assumed to
+    operate as profit-making entities; i.e., their contracts have to
+    make money or they will cease operation" — insolvency is a signal
+    the experiments *measure*, not an error the ledger prevents.
+    """
+
+    def __init__(self) -> None:
+        self._balances: dict[str, float] = {}
+        self.ledger: list[LedgerEntry] = []
+        self.round = 0
+
+    def open_account(self, name: str, initial_balance: float = 0.0) -> None:
+        if name in self._balances:
+            raise EconomyError(f"account {name!r} already exists")
+        self._balances[name] = initial_balance
+
+    def balance(self, name: str) -> float:
+        try:
+            return self._balances[name]
+        except KeyError:
+            raise EconomyError(f"unknown account {name!r}") from None
+
+    def transfer(self, payer: str, payee: str, amount: float, memo: str = "") -> None:
+        """Move dollars between accounts (negative amounts rejected)."""
+        if amount < 0:
+            raise EconomyError(f"cannot transfer a negative amount ({amount})")
+        if payer not in self._balances:
+            raise EconomyError(f"unknown payer {payer!r}")
+        if payee not in self._balances:
+            raise EconomyError(f"unknown payee {payee!r}")
+        if amount == 0:
+            return
+        self._balances[payer] -= amount
+        self._balances[payee] += amount
+        self.ledger.append(LedgerEntry(self.round, payer, payee, amount, memo))
+
+    def total_balance(self) -> float:
+        """Sum of all balances (conserved across transfers)."""
+        return sum(self._balances.values())
+
+    def advance_round(self) -> int:
+        self.round += 1
+        return self.round
+
+    def accounts(self) -> list[str]:
+        return sorted(self._balances)
+
+    def transfers_between(self, payer: str, payee: str) -> list[LedgerEntry]:
+        return [e for e in self.ledger if e.payer == payer and e.payee == payee]

@@ -1,0 +1,347 @@
+"""Federated query processing and the market loop (Sections 3.2, 7.2).
+
+A federated query is a pipeline of stages over a source stream; each
+stage does work, filters messages (selectivity) and adds value.  Stages
+are assigned to participants; at every participant boundary the
+downstream participant buys the intermediate stream under a content
+contract priced at the stream's accumulated per-message value —
+"the receiver performs query-processing services on the message stream
+that presumably increases its value, at some cost.  The receiver can
+then sell the resulting stream for a higher price than it paid and make
+money."
+
+The federation runs in market rounds: message flows are computed from
+source rates, work is charged against each participant's convex cost
+model, and content contracts settle on the economy ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.medusa.contracts import ContentContract, ContractError
+from repro.medusa.economy import Economy
+from repro.medusa.participant import Participant
+
+
+class FederationError(RuntimeError):
+    """Raised for malformed queries or assignments."""
+
+
+@dataclass
+class QueryStage:
+    """One operator stage of a federated query.
+
+    Args:
+        name: stage identifier within the query.
+        work_per_message: work units per input message.
+        selectivity: output/input message ratio.
+        value_added: per-output-message value created by this stage.
+        template: the operator template required to host this stage
+            (drives remote-definition authorization, Section 4.4).
+    """
+
+    name: str
+    work_per_message: float = 1.0
+    selectivity: float = 1.0
+    value_added: float = 0.0
+    template: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.work_per_message < 0:
+            raise FederationError("work_per_message must be non-negative")
+        if self.selectivity < 0:
+            raise FederationError("selectivity must be non-negative")
+
+
+@dataclass
+class StageFlow:
+    """Computed per-stage traffic for one round."""
+
+    stage: QueryStage
+    host: str
+    messages_in: float
+    messages_out: float
+    value_in: float
+    value_out: float
+
+
+class FederatedQuery:
+    """A pipeline query spanning participants.
+
+    Args:
+        name: query name.
+        owner: the participant who authored the query (the remote
+            *definer* for stages hosted elsewhere).
+        source: the source participant (paid for the raw stream).
+        source_stream: stream name within the source's namespace.
+        rate: messages per market round produced by the source.
+        source_value: per-message value of the raw stream.
+        stages: the processing pipeline, in order.
+        sink: the consuming participant (pays for the final stream).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        owner: str,
+        source: str,
+        source_stream: str,
+        rate: float,
+        source_value: float,
+        stages: list[QueryStage],
+        sink: str,
+    ):
+        if rate < 0:
+            raise FederationError("rate must be non-negative")
+        if not stages:
+            raise FederationError("a query needs at least one stage")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise FederationError(f"duplicate stage names: {names}")
+        self.name = name
+        self.owner = owner
+        self.source = source
+        self.source_stream = source_stream
+        self.rate = rate
+        self.source_value = source_value
+        self.stages = list(stages)
+        self.sink = sink
+        self.assignment: dict[str, str] = {}
+
+    def stage(self, name: str) -> QueryStage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise FederationError(f"query {self.name!r} has no stage {name!r}")
+
+    def flows(self, assignment: dict[str, str] | None = None) -> list[StageFlow]:
+        """Per-stage message and value flow under an assignment."""
+        assignment = assignment if assignment is not None else self.assignment
+        flows = []
+        messages = self.rate
+        value = self.source_value
+        for stage in self.stages:
+            host = assignment.get(stage.name)
+            if host is None:
+                raise FederationError(
+                    f"stage {stage.name!r} of query {self.name!r} is unassigned"
+                )
+            messages_out = messages * stage.selectivity
+            if messages_out > 0:
+                # Value concentrates through filters and grows with work.
+                value_out = (value * messages) / messages_out + stage.value_added
+            else:
+                value_out = 0.0
+            flows.append(
+                StageFlow(stage, host, messages, messages_out, value, value_out)
+            )
+            messages, value = messages_out, value_out
+        return flows
+
+
+class Federation:
+    """Participants, queries, contracts and the market loop."""
+
+    def __init__(self, contract_period: int | None = None) -> None:
+        """Args:
+            contract_period: validity (in market rounds) of the content
+                contracts the federation derives at query boundaries —
+                the "For time period" clause of Section 7.2.  None means
+                open-ended contracts.
+        """
+        self.economy = Economy()
+        self.participants: dict[str, Participant] = {}
+        self.queries: dict[str, FederatedQuery] = {}
+        self.contract_period = contract_period
+        self._content_contracts: dict[tuple, ContentContract] = {}
+        self.contracts_renewed = 0
+        self.history: list[dict] = []
+
+    # -- membership -----------------------------------------------------------
+
+    def add_participant(self, participant: Participant, balance: float = 0.0) -> Participant:
+        if participant.name in self.participants:
+            raise FederationError(f"participant {participant.name!r} already exists")
+        self.participants[participant.name] = participant
+        self.economy.open_account(participant.name, balance)
+        return participant
+
+    def participant(self, name: str) -> Participant:
+        try:
+            return self.participants[name]
+        except KeyError:
+            raise FederationError(f"unknown participant {name!r}") from None
+
+    # -- queries ---------------------------------------------------------------
+
+    def add_query(self, query: FederatedQuery) -> FederatedQuery:
+        for name in (query.owner, query.source, query.sink):
+            self.participant(name)
+        if query.name in self.queries:
+            raise FederationError(f"query {query.name!r} already exists")
+        self.queries[query.name] = query
+        return query
+
+    def assign_stage(self, query_name: str, stage_name: str, host: str) -> None:
+        """Place a stage, enforcing remote-definition authorization.
+
+        "Participants provide services to each other" only where
+        authorized: hosting a stage of someone else's query requires
+        the host to have authorized the owner and to offer the stage's
+        operator template (Section 4.4's remote definition).
+        """
+        query = self.queries[query_name]
+        stage = query.stage(stage_name)
+        host_participant = self.participant(host)
+        if host != query.owner and not host_participant.may_define(
+            query.owner, stage.template
+        ):
+            raise FederationError(
+                f"{host!r} has not authorized {query.owner!r} to remotely "
+                f"define {stage.template!r}"
+            )
+        query.assignment[stage_name] = host
+
+    # -- boundaries & contracts ----------------------------------------------------
+
+    def boundaries(self, query: FederatedQuery) -> list[tuple[str, str, float, float]]:
+        """(seller, buyer, messages, price_per_message) at every
+        participant boundary of a query, including source and sink."""
+        flows = query.flows()
+        result = []
+        previous_host = query.source
+        for flow in flows:
+            if flow.host != previous_host:
+                result.append((previous_host, flow.host, flow.messages_in, flow.value_in))
+            previous_host = flow.host
+        last = flows[-1]
+        if query.sink != previous_host:
+            result.append((previous_host, query.sink, last.messages_out, last.value_out))
+        return result
+
+    def _contract_for(
+        self, query: FederatedQuery, seller: str, buyer: str, price: float
+    ) -> ContentContract:
+        key = (query.name, seller, buyer)
+        contract = self._content_contracts.get(key)
+        needs_new = (
+            contract is None
+            or abs(contract.price_per_message - price) > 1e-12
+            or contract.expired(self.economy.round)
+        )
+        if needs_new:
+            if contract is not None and contract.expired(self.economy.round):
+                self.contracts_renewed += 1
+            contract = ContentContract(
+                stream_name=f"{query.name}@{seller}",
+                sender=seller,
+                receiver=buyer,
+                price_per_message=price,
+                period=self.contract_period,
+                started_round=self.economy.round,
+            )
+            self._content_contracts[key] = contract
+        return contract
+
+    def active_contracts(self) -> list[ContentContract]:
+        return [c for c in self._content_contracts.values() if c.active]
+
+    # -- the market round --------------------------------------------------------------
+
+    def query_operational(self, query: FederatedQuery) -> bool:
+        """A query delivers this round only if every participant on its
+        path — source, all stage hosts, sink — is up."""
+        hosts = {query.source, query.sink, *query.assignment.values()}
+        return all(not self.participants[h].failed for h in hosts)
+
+    def run_round(self) -> dict[str, float]:
+        """Execute one market round; returns per-participant profit.
+
+        Queries whose path crosses a failed participant deliver nothing
+        this round: no work is done and no contract settles — the
+        outage that availability guarantees (and their penalties,
+        :mod:`repro.medusa.availability`) account for.
+        """
+        self.economy.advance_round()
+        for participant in self.participants.values():
+            participant.begin_round()
+
+        operational = {
+            name: query
+            for name, query in self.queries.items()
+            if self.query_operational(query)
+        }
+
+        # Work placement first (congestion costs depend on total work).
+        work: dict[str, float] = {name: 0.0 for name in self.participants}
+        for query in operational.values():
+            for flow in query.flows():
+                work[flow.host] += flow.messages_in * flow.stage.work_per_message
+
+        for name, units in work.items():
+            participant = self.participants[name]
+            participant.expense_this_round += participant.cost_of(units, already_loaded=0.0)
+            participant.work_this_round = units
+
+        # Settle content contracts at every boundary.
+        for query in operational.values():
+            for seller, buyer, messages, price in self.boundaries(query):
+                contract = self._contract_for(query, seller, buyer, price)
+                paid = contract.settle(self.economy, int(round(messages)))
+                self.participants[buyer].expense_this_round += paid
+                self.participants[seller].revenue_this_round += paid
+
+        profits = {
+            name: p.profit_this_round for name, p in self.participants.items()
+        }
+        self.history.append(
+            {
+                "round": self.economy.round,
+                "profits": dict(profits),
+                "load": {n: p.load_factor() for n, p in self.participants.items()},
+                "operational": sorted(operational),
+            }
+        )
+        return profits
+
+    # -- hypothetical evaluation (for oracles) ----------------------------------------------
+
+    def evaluate_profits(
+        self, overrides: dict[str, dict[str, str]] | None = None
+    ) -> dict[str, float]:
+        """Per-participant profit of a hypothetical assignment, without
+        executing any transfer.  ``overrides`` maps query name to a
+        partial stage->host override."""
+        overrides = overrides or {}
+        work: dict[str, float] = {name: 0.0 for name in self.participants}
+        revenue: dict[str, float] = {name: 0.0 for name in self.participants}
+        expense: dict[str, float] = {name: 0.0 for name in self.participants}
+
+        for query in self.queries.values():
+            assignment = dict(query.assignment)
+            assignment.update(overrides.get(query.name, {}))
+            flows = query.flows(assignment)
+            for flow in flows:
+                work[flow.host] += flow.messages_in * flow.stage.work_per_message
+            previous_host = query.source
+            for flow in flows:
+                if flow.host != previous_host:
+                    amount = flow.messages_in * flow.value_in
+                    revenue[previous_host] += amount
+                    expense[flow.host] += amount
+                previous_host = flow.host
+            last = flows[-1]
+            if query.sink != previous_host:
+                amount = last.messages_out * last.value_out
+                revenue[previous_host] += amount
+                expense[query.sink] += amount
+
+        profits = {}
+        for name, participant in self.participants.items():
+            cost = participant.cost_of(work[name], already_loaded=0.0)
+            profits[name] = revenue[name] - expense[name] - cost
+        return profits
+
+    def load_factors(self) -> dict[str, float]:
+        return {n: p.load_factor() for n, p in self.participants.items()}

@@ -1,0 +1,123 @@
+"""Medusa participants (Section 3.2).
+
+"A Medusa participant is a collection of computing devices administered
+by a single entity. ... participants range in scale from collections of
+stream processing nodes capable of running Aurora ... to PCs or PDAs
+that allow user access to the system ... to networks of sensors and
+their proxies that provide input streams."
+
+Participants have a processing capacity and a convex congestion cost:
+work beyond capacity is increasingly expensive, which is the economic
+pressure that makes oracles (Section 7.2) shed load.
+"""
+
+from __future__ import annotations
+
+
+class Participant:
+    """One administrative domain in the federation.
+
+    Args:
+        name: global participant name (Section 4.1's namespace).
+        capacity: work units the participant processes per market round
+            at base cost.
+        unit_cost: dollars per work unit at or below capacity.
+        kind: "source" (pure stream producer), "sink" (pure consumer /
+            end user), or "interior" (both, the profit-making default).
+        congestion_penalty: multiplier slope above capacity — work at
+            load factor L > 1 costs ``unit_cost * (1 + penalty*(L-1))``
+            per unit.
+    """
+
+    KINDS = ("source", "interior", "sink")
+
+    def __init__(
+        self,
+        name: str,
+        capacity: float = 100.0,
+        unit_cost: float = 0.01,
+        kind: str = "interior",
+        congestion_penalty: float = 4.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if unit_cost < 0:
+            raise ValueError("unit_cost must be non-negative")
+        if kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
+        self.name = name
+        self.capacity = capacity
+        self.unit_cost = unit_cost
+        self.kind = kind
+        self.congestion_penalty = congestion_penalty
+        # Remote definition authorization (Section 4.4): which other
+        # participants may instantiate operators here, and from which
+        # pre-defined templates.
+        self.authorized_definers: set[str] = set()
+        self.offered_operators: set[str] = set()
+        # Per-round accounting, reset by the federation.
+        self.work_this_round = 0.0
+        self.revenue_this_round = 0.0
+        self.expense_this_round = 0.0
+        # Outage state: a failed participant serves nothing, which is
+        # what content contracts' availability guarantees police.
+        self.failed = False
+
+    # -- remote definition (Section 4.4) ------------------------------------
+
+    def offer_operator(self, template: str) -> None:
+        """Advertise an operator template others may remotely define."""
+        self.offered_operators.add(template)
+
+    def authorize(self, definer: str) -> None:
+        """Allow another participant to remotely define operators here."""
+        self.authorized_definers.add(definer)
+
+    def may_define(self, definer: str, template: str) -> bool:
+        return definer in self.authorized_definers and template in self.offered_operators
+
+    # -- cost model -----------------------------------------------------------
+
+    def load_factor(self) -> float:
+        return self.work_this_round / self.capacity
+
+    def cost_of(self, work: float, already_loaded: float | None = None) -> float:
+        """Dollar cost of ``work`` more units given the current load.
+
+        Convex: units above capacity cost progressively more — this is
+        what makes an overloaded participant's oracle prefer paying a
+        peer over processing locally.
+        """
+        base = self.work_this_round if already_loaded is None else already_loaded
+        total = 0.0
+        remaining = work
+        headroom = max(self.capacity - base, 0.0)
+        cheap = min(remaining, headroom)
+        total += cheap * self.unit_cost
+        remaining -= cheap
+        if remaining > 0:
+            overload_start = max(base, self.capacity)
+            # Average load factor over the congested span.
+            mid = (overload_start + remaining / 2 + overload_start) / 2
+            factor = 1.0 + self.congestion_penalty * (mid / self.capacity - 1.0)
+            total += remaining * self.unit_cost * max(factor, 1.0)
+        return total
+
+    def fail(self) -> None:
+        """Take the participant offline (outage)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def begin_round(self) -> None:
+        self.work_this_round = 0.0
+        self.revenue_this_round = 0.0
+        self.expense_this_round = 0.0
+
+    @property
+    def profit_this_round(self) -> float:
+        return self.revenue_this_round - self.expense_this_round
+
+    def __repr__(self) -> str:
+        return f"Participant({self.name}, {self.kind}, capacity={self.capacity:g})"

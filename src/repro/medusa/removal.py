@@ -1,0 +1,94 @@
+"""Removing a participant from a query path via suggested contracts (§7.2).
+
+"Unfortunately, this form of collaboration will require that query
+plans be star shaped with P in the middle ... For instance, we would
+like to remove P from the star-shaped query defined above. ...
+Removing a participant requires that the leaving participant ask other
+participants to establish new content contracts with each other.  The
+mechanism for this is suggested contracts: a participant P suggests to
+downstream participants an alternate location (participant and stream
+name) from where they should buy content currently provided by P.
+Receiving participants may ignore suggested contracts."
+"""
+
+from __future__ import annotations
+
+from repro.medusa.contracts import SuggestedContract
+from repro.medusa.federation import FederatedQuery, Federation, FederationError
+
+
+def stages_hosted_by(query: FederatedQuery, participant: str) -> list[str]:
+    """Stage names of ``query`` currently assigned to ``participant``."""
+    return [
+        stage.name
+        for stage in query.stages
+        if query.assignment.get(stage.name) == participant
+    ]
+
+
+def propose_removal(
+    federation: Federation,
+    query_name: str,
+    leaving: str,
+    replacement: str,
+) -> list[SuggestedContract]:
+    """The leaving participant proposes its replacement to its buyers.
+
+    For every boundary where ``leaving`` currently sells query content,
+    a :class:`SuggestedContract` is issued to the buyer naming
+    ``replacement`` as the alternate sender.  Nothing moves yet —
+    "receiving participants may ignore suggested contracts"; apply the
+    accepted ones with :func:`apply_removal`.
+    """
+    query = federation.queries[query_name]
+    if not stages_hosted_by(query, leaving):
+        raise FederationError(
+            f"{leaving!r} hosts no stage of query {query_name!r}"
+        )
+    federation.participant(replacement)
+    suggestions = []
+    for seller, buyer, _messages, _price in federation.boundaries(query):
+        if seller != leaving:
+            continue
+        suggestions.append(
+            SuggestedContract(
+                suggester=leaving,
+                receiver=buyer,
+                stream_name=f"{query_name}@{leaving}",
+                alternate_sender=replacement,
+                alternate_stream=f"{query_name}@{replacement}",
+            )
+        )
+    return suggestions
+
+
+def apply_removal(
+    federation: Federation,
+    query_name: str,
+    leaving: str,
+    replacement: str,
+    suggestions: list[SuggestedContract],
+) -> bool:
+    """Execute the removal if every affected buyer accepted.
+
+    Moves the leaving participant's stages to the replacement host
+    (re-validating remote-definition authorization) so subsequent
+    market rounds price the new boundaries.  Returns False — and
+    changes nothing — if any suggestion was ignored or rejected.
+    """
+    if not suggestions:
+        raise FederationError("no suggestions to apply")
+    if not all(s.accepted for s in suggestions):
+        return False
+    query = federation.queries[query_name]
+    moved = stages_hosted_by(query, leaving)
+    previous = {name: query.assignment[name] for name in moved}
+    try:
+        for stage_name in moved:
+            federation.assign_stage(query_name, stage_name, replacement)
+    except FederationError:
+        # Roll back: authorization failed at the replacement.
+        for stage_name, host in previous.items():
+            query.assignment[stage_name] = host
+        raise
+    return True

@@ -1,0 +1,55 @@
+"""Scalable communications infrastructure (paper Section 4).
+
+An overlay network layered on a simulated Internet substrate, providing:
+
+* naming and discovery — a global participant namespace and two catalog
+  levels (intra- and inter-participant, the latter DHT-backed);
+* routing of stream events to the nodes where query pieces execute;
+* message transport — per-stream connections or a single multiplexed
+  connection with a weighted scheduler (Section 4.3).
+"""
+
+from repro.network.naming import EntityName, Namespace, parse_entity_name
+from repro.network.congestion import (
+    AIMDController,
+    DatagramLink,
+    UdpMultiplexedTransport,
+)
+from repro.network.dht import ChordRing, ConsistentHashRing
+from repro.network.lhstar import LHStarClient, LHStarFile
+from repro.network.overlay import Link, Message, Overlay, OverlayNode
+from repro.network.transport import (
+    MultiplexedTransport,
+    PerStreamTransport,
+    StreamMessage,
+)
+from repro.network.catalog import (
+    InterParticipantCatalog,
+    IntraParticipantCatalog,
+    StreamLocation,
+)
+from repro.network.routing import EventRouter
+
+__all__ = [
+    "AIMDController",
+    "ChordRing",
+    "DatagramLink",
+    "LHStarClient",
+    "LHStarFile",
+    "UdpMultiplexedTransport",
+    "ConsistentHashRing",
+    "EntityName",
+    "EventRouter",
+    "InterParticipantCatalog",
+    "IntraParticipantCatalog",
+    "Link",
+    "Message",
+    "MultiplexedTransport",
+    "Namespace",
+    "Overlay",
+    "OverlayNode",
+    "PerStreamTransport",
+    "StreamLocation",
+    "StreamMessage",
+    "parse_entity_name",
+]

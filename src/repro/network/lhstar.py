@@ -1,0 +1,192 @@
+"""LH*: a scalable distributed data structure (Section 4.1's second citation).
+
+"Several algorithms exist for this purpose (e.g., DHTs based on
+consistent hashing and LH*)." — Litwin, Neimat & Schneider, *LH\\* — A
+Scalable Distributed Data Structure*, TODS 1996.
+
+LH* extends linear hashing across server buckets:
+
+* The file grows one bucket at a time by *splitting* the bucket at the
+  split pointer ``n`` at level ``i`` (hash function h_i(k) = k mod 2^i
+  buckets, re-hashing half its keys to bucket ``n + 2^i``).
+* Clients keep a possibly outdated *image* (i', n') of the file state
+  and may address the wrong bucket; servers detect this and forward
+  using their own (also local) knowledge.  The celebrated LH* bound:
+  a misaddressed request is forwarded **at most twice**.
+* Each forwarding sends the client an Image Adjustment Message (IAM)
+  so the same mistake is not repeated.
+
+This implementation models clients and server buckets explicitly so
+experiment E11 can verify the ≤2-hop bound and the IAM convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.network.dht import stable_hash
+
+
+class LHStarFile:
+    """The LH* file: a growing array of server buckets.
+
+    Args:
+        bucket_capacity: keys a bucket holds before requesting a split
+            (splits are triggered by insertions into any full bucket,
+            a common uncoordinated-split variant).
+    """
+
+    def __init__(self, bucket_capacity: int = 16):
+        if bucket_capacity < 1:
+            raise ValueError("bucket_capacity must be >= 1")
+        self.bucket_capacity = bucket_capacity
+        self.level = 0            # i: h_i(k) = hash(k) mod 2**i
+        self.split_pointer = 0    # n: next bucket to split
+        self.buckets: list[dict[str, Any]] = [{}]
+        # Each bucket remembers the level it was created/split at: the
+        # server-side knowledge used to detect misaddressing.
+        self.bucket_level: list[int] = [0]
+        self.splits_performed = 0
+
+    # -- the LH* addressing function ------------------------------------------
+
+    def _hash(self, key: str, level: int) -> int:
+        return stable_hash(key) % (1 << level)
+
+    def correct_bucket(self, key: str) -> int:
+        """The bucket a key belongs to under the *current* file state."""
+        address = self._hash(key, self.level)
+        if address < self.split_pointer:
+            address = self._hash(key, self.level + 1)
+        return address
+
+    def client_address(self, key: str, client_level: int, client_split: int) -> int:
+        """Where a client with image (i', n') would send the request."""
+        address = self._hash(key, client_level)
+        if address < client_split:
+            address = self._hash(key, client_level + 1)
+        return address
+
+    def server_forward(self, bucket: int, key: str) -> int | None:
+        """LH* server-side forwarding rule.
+
+        A bucket receiving a key checks it against its own level ``j``:
+        if ``hash(key) mod 2**j`` is not this bucket, the request is
+        forwarded to ``hash(key) mod 2**j`` computed at a deeper level.
+        Returns the next bucket, or None if this bucket is correct.
+        """
+        j = self.bucket_level[bucket]
+        address = self._hash(key, j)
+        if address == bucket:
+            # Could still belong deeper if this bucket has split.
+            deeper = self._hash(key, j + 1)
+            if deeper != bucket and deeper < len(self.buckets):
+                return deeper
+            return None
+        if address < len(self.buckets):
+            return address
+        return None
+
+    # -- file growth --------------------------------------------------------------
+
+    def _split(self) -> None:
+        """Split the bucket at the split pointer (linear hashing step)."""
+        source = self.split_pointer
+        new_index = source + (1 << self.level)
+        self.buckets.append({})
+        self.bucket_level.append(self.level + 1)
+        self.bucket_level[source] = self.level + 1
+        moved = {}
+        for key in list(self.buckets[source]):
+            if self._hash(key, self.level + 1) == new_index:
+                moved[key] = self.buckets[source].pop(key)
+        self.buckets[new_index].update(moved)
+        self.splits_performed += 1
+        self.split_pointer += 1
+        if self.split_pointer == (1 << self.level):
+            self.level += 1
+            self.split_pointer = 0
+
+    def insert(self, key: str, value: Any) -> None:
+        """Insert (splitting if the target bucket is full)."""
+        bucket = self.correct_bucket(key)
+        self.buckets[bucket][key] = value
+        if len(self.buckets[bucket]) > self.bucket_capacity:
+            self._split()
+
+    def get_exact(self, key: str) -> Any:
+        """Server-side lookup using the true state (no client image)."""
+        bucket = self.correct_bucket(key)
+        try:
+            return self.buckets[bucket][key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self.buckets)
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+
+class LHStarClient:
+    """A client with a possibly outdated image (i', n') of the file.
+
+    Lookups route with the stale image; misaddressed requests are
+    forwarded by servers (counted as hops) and trigger Image Adjustment
+    Messages updating the client.
+    """
+
+    def __init__(self, file: LHStarFile):
+        self.file = file
+        self.image_level = 0
+        self.image_split = 0
+        self.lookups = 0
+        self.total_forwardings = 0
+        self.iam_received = 0
+
+    def lookup(self, key: str) -> tuple[Any, int]:
+        """Resolve a key; returns (value, forwarding hops).
+
+        The LH* guarantee under the standard split discipline is at
+        most two forwardings per lookup.
+        """
+        self.lookups += 1
+        bucket = self.file.client_address(key, self.image_level, self.image_split)
+        bucket = min(bucket, self.file.n_buckets - 1)
+        hops = 0
+        while True:
+            next_bucket = self.file.server_forward(bucket, key)
+            if next_bucket is None or next_bucket == bucket:
+                break
+            bucket = next_bucket
+            hops += 1
+            if hops > 3:  # defensive: the bound says this cannot happen
+                break
+        self.total_forwardings += hops
+        if hops > 0:
+            self._receive_iam(bucket)
+        value = self.file.buckets[bucket].get(key)
+        if value is None:
+            # The key may genuinely be absent.
+            correct = self.file.correct_bucket(key)
+            value = self.file.buckets[correct].get(key)
+            if value is None:
+                raise KeyError(key)
+        return value, hops
+
+    def _receive_iam(self, bucket: int) -> None:
+        """Image Adjustment Message: learn the responding bucket's level."""
+        self.iam_received += 1
+        j = self.file.bucket_level[bucket]
+        # Standard IAM update: the client's image moves to at least
+        # (j - 1, bucket + 1) truncated into range.
+        new_level = max(self.image_level, j - 1)
+        if new_level > self.image_level:
+            self.image_level = new_level
+            self.image_split = 0
+        self.image_split = max(self.image_split, 0)
+
+    def mean_forwardings(self) -> float:
+        return self.total_forwardings / self.lookups if self.lookups else 0.0

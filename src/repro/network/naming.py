@@ -1,0 +1,121 @@
+"""Naming: the global namespace for participants and entities (Section 4.1).
+
+"There is a single global namespace for participants, and each
+participant has a unique global name.  When a participant defines a new
+operator, schema, or stream, it does so within its own namespace.
+Hence, each entity's name begins with the name of the participant who
+defined it, and each object can be uniquely named by the tuple:
+(participant, entity-name)."
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class NamingError(ValueError):
+    """Raised for malformed or conflicting names."""
+
+
+class EntityName:
+    """A globally unique name: (participant, entity).
+
+    Rendered as ``participant/entity``.  Entity kinds (operator, schema,
+    stream, query, contract) are catalog-level metadata, not part of the
+    name itself.
+    """
+
+    __slots__ = ("participant", "entity")
+
+    def __init__(self, participant: str, entity: str):
+        for part, label in ((participant, "participant"), (entity, "entity")):
+            if not part:
+                raise NamingError(f"{label} name must be non-empty")
+            if "/" in part:
+                raise NamingError(f"{label} name {part!r} may not contain '/'")
+        self.participant = participant
+        self.entity = entity
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntityName):
+            return NotImplemented
+        return (self.participant, self.entity) == (other.participant, other.entity)
+
+    def __hash__(self) -> int:
+        return hash((self.participant, self.entity))
+
+    def __lt__(self, other: "EntityName") -> bool:
+        return (self.participant, self.entity) < (other.participant, other.entity)
+
+    def __str__(self) -> str:
+        return f"{self.participant}/{self.entity}"
+
+    def __repr__(self) -> str:
+        return f"EntityName({self.participant!r}, {self.entity!r})"
+
+
+def parse_entity_name(name: str) -> EntityName:
+    """Parse ``participant/entity`` into an :class:`EntityName`."""
+    participant, sep, entity = name.partition("/")
+    if not sep:
+        raise NamingError(f"expected 'participant/entity', got {name!r}")
+    return EntityName(participant, entity)
+
+
+class Namespace:
+    """Registry of participants and the entities each has defined.
+
+    Entities carry a ``kind`` string (``"stream"``, ``"schema"``,
+    ``"operator"``, ``"query"``, ``"contract"``), enforced unique per
+    (participant, entity) pair.
+    """
+
+    KINDS = ("stream", "schema", "operator", "query", "contract")
+
+    def __init__(self) -> None:
+        self._participants: set[str] = set()
+        self._entities: dict[EntityName, str] = {}
+
+    def register_participant(self, name: str) -> None:
+        if "/" in name or not name:
+            raise NamingError(f"invalid participant name {name!r}")
+        if name in self._participants:
+            raise NamingError(f"participant {name!r} already registered")
+        self._participants.add(name)
+
+    def participants(self) -> list[str]:
+        return sorted(self._participants)
+
+    def is_participant(self, name: str) -> bool:
+        return name in self._participants
+
+    def define(self, name: EntityName, kind: str) -> None:
+        """Define an entity within its participant's namespace."""
+        if kind not in self.KINDS:
+            raise NamingError(f"unknown entity kind {kind!r}; use one of {self.KINDS}")
+        if name.participant not in self._participants:
+            raise NamingError(f"unknown participant {name.participant!r}")
+        if name in self._entities:
+            raise NamingError(f"entity {name} already defined")
+        self._entities[name] = kind
+
+    def kind_of(self, name: EntityName) -> str:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise NamingError(f"unknown entity {name}") from None
+
+    def entities_of(self, participant: str, kind: str | None = None) -> Iterator[EntityName]:
+        """All entities a participant has defined, optionally by kind."""
+        for name, entity_kind in sorted(self._entities.items()):
+            if name.participant != participant:
+                continue
+            if kind is not None and entity_kind != kind:
+                continue
+            yield name
+
+    def __contains__(self, name: EntityName) -> bool:
+        return name in self._entities
+
+    def __len__(self) -> int:
+        return len(self._entities)

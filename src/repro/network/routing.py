@@ -1,0 +1,85 @@
+"""Event routing (Section 4.2).
+
+"Before producing events, a data source ... registers a new schema
+definition and a new stream name with the system, which in turn assigns
+a default location for events of the new type. ... When a data source
+produces events, it labels them with a stream name and sends them to
+one of the nodes in the overlay network.  Upon receiving these events,
+the node consults the intra-participant catalog and forwards events to
+the appropriate locations."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.tuples import StreamTuple
+from repro.network.catalog import IntraParticipantCatalog
+from repro.network.dht import stable_hash
+from repro.network.overlay import Message, Overlay
+
+
+class EventRouter:
+    """Routes labeled events from sources to the nodes hosting their streams.
+
+    Args:
+        overlay: the overlay network carrying "tuples" messages.
+        catalog: the intra-participant catalog holding stream locations.
+        partitioner: maps (stream, tuple, locations) to the target node
+            when a stream is partitioned across several nodes; the
+            default hashes the tuple's values across the locations.
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        catalog: IntraParticipantCatalog,
+        partitioner: Callable[[str, StreamTuple, list[str]], str] | None = None,
+    ):
+        self.overlay = overlay
+        self.catalog = catalog
+        self.partitioner = partitioner or self._hash_partitioner
+        self.events_routed = 0
+        self.events_forwarded = 0
+
+    @staticmethod
+    def _hash_partitioner(stream: str, tup: StreamTuple, locations: list[str]) -> str:
+        key = f"{stream}:{sorted(tup.values.items())!r}"
+        return locations[stable_hash(key) % len(locations)]
+
+    def register_stream(self, stream: str, schema_name: str, default_node: str) -> None:
+        """Register a new stream and assign its default location."""
+        self.catalog.define("stream", stream, schema_name)
+        self.catalog.set_stream_location(stream, [default_node])
+
+    def route(self, entry_node: str, stream: str, tup: StreamTuple, size: int = 100) -> str:
+        """Deliver one labeled event.
+
+        The source hands the event to ``entry_node``; that node consults
+        the catalog and forwards to the stream's current location
+        (a second overlay hop only when the entry node is not already
+        the target — events arriving at the right node stay local).
+        Returns the node that received the event.
+        """
+        location = self.catalog.stream_location(stream)
+        target = self.partitioner(stream, tup, location.nodes)
+        self.events_routed += 1
+        if entry_node != target:
+            message = Message("tuples", {"stream": stream, "tuples": [tup]}, size=size)
+            self.overlay.send(entry_node, target, message)
+            self.events_forwarded += 1
+        else:
+            # Local delivery: hand to the node's handler directly.
+            message = Message("tuples", {"stream": stream, "tuples": [tup]}, size=size)
+            message.src = entry_node
+            message.dst = target
+            self.overlay.node(target).deliver(message)
+        return target
+
+    def move_stream(self, stream: str, new_nodes: list[str]) -> None:
+        """Load sharing moved or partitioned the stream; update the catalog.
+
+        "The location information is always propagated to the
+        intra-participant catalog."
+        """
+        self.catalog.set_stream_location(stream, new_nodes)

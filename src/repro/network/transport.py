@@ -1,0 +1,230 @@
+"""Message transport between overlay nodes (Section 4.3).
+
+The paper contrasts two designs for carrying many logical message
+streams between a node pair:
+
+* **Per-stream connections** — "set up individual TCP connections, one
+  per message stream".  Problems the paper lists, all modeled here:
+  (1) per-connection overhead becomes prohibitive as streams grow
+  (connection setup bytes + per-connection bookkeeping cost);
+  (2) independent connections share bandwidth *equally* (each
+  backlogged connection gets an even split, emulating TCP fairness),
+  not according to prescribed weights.
+
+* **Multiplexed transport** — "multiplex all the message streams on to
+  a single TCP connection and have a message scheduler that determines
+  which message stream gets to use the connection at any time.  This
+  scheduler implements a weighted connection sharing policy".  Modeled
+  as weighted fair queueing (virtual finish times) over one connection
+  with a small per-message framing overhead.
+
+Both transports are offline simulators over a fixed-bandwidth pipe:
+enqueue messages, then :meth:`run` for a duration and read per-stream
+delivery statistics.  Experiment E12 checks that the multiplexed
+scheduler delivers bandwidth in the prescribed ratios while the
+per-stream design does not, and that per-stream overhead grows with the
+number of streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+
+class StreamMessage:
+    """One application message on a logical stream."""
+
+    __slots__ = ("stream", "size", "enqueued_at", "delivered_at")
+
+    def __init__(self, stream: str, size: int, enqueued_at: float = 0.0):
+        if size <= 0:
+            raise ValueError("message size must be positive")
+        self.stream = stream
+        self.size = size
+        self.enqueued_at = enqueued_at
+        self.delivered_at: float | None = None
+
+    def __repr__(self) -> str:
+        return f"StreamMessage({self.stream}, {self.size}B)"
+
+
+class TransportStats:
+    """Per-run delivery statistics shared by both transports."""
+
+    def __init__(self) -> None:
+        self.delivered_bytes: dict[str, int] = {}
+        self.delivered_messages: dict[str, int] = {}
+        self.overhead_bytes = 0
+        self.connections_used = 0
+
+    def record(self, message: StreamMessage) -> None:
+        self.delivered_bytes[message.stream] = (
+            self.delivered_bytes.get(message.stream, 0) + message.size
+        )
+        self.delivered_messages[message.stream] = (
+            self.delivered_messages.get(message.stream, 0) + 1
+        )
+
+    def share(self, stream: str) -> float:
+        """Fraction of total delivered payload bytes carried by ``stream``."""
+        total = sum(self.delivered_bytes.values())
+        return self.delivered_bytes.get(stream, 0) / total if total else 0.0
+
+
+class MultiplexedTransport:
+    """All streams on one connection, scheduled by weighted fair queueing.
+
+    Args:
+        bandwidth: connection payload bandwidth (bytes/second).
+        weights: per-stream relative weights ("based on QoS or contract
+            specification"); unknown streams default to weight 1.
+        framing_overhead: extra bytes per message for the mux frame
+            header (small; there is only one connection).
+    """
+
+    def __init__(
+        self,
+        bandwidth: float,
+        weights: dict[str, float] | None = None,
+        framing_overhead: int = 4,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.weights = dict(weights or {})
+        self.framing_overhead = framing_overhead
+        # Per-stream queues of (start_tag, message).  Tags follow
+        # start-time fair queueing: a message's virtual start is
+        # max(current virtual time, the stream's previous finish), and
+        # its finish is start + size/weight.  Serving the smallest start
+        # tag delivers bandwidth in proportion to the weights.
+        self._queues: dict[str, deque[tuple[float, StreamMessage]]] = {}
+        self._last_finish: dict[str, float] = {}
+        self._virtual_time = 0.0
+        self.stats = TransportStats()
+        self.stats.connections_used = 1
+
+    def weight(self, stream: str) -> float:
+        return self.weights.get(stream, 1.0)
+
+    def enqueue(self, message: StreamMessage) -> None:
+        stream = message.stream
+        start = max(self._virtual_time, self._last_finish.get(stream, 0.0))
+        self._last_finish[stream] = start + message.size / self.weight(stream)
+        self._queues.setdefault(stream, deque()).append((start, message))
+
+    def backlog(self, stream: str) -> int:
+        return len(self._queues.get(stream, ()))
+
+    def _select(self) -> str | None:
+        """Pick the backlogged stream whose head has the smallest start tag."""
+        best_stream: str | None = None
+        best_tag = float("inf")
+        for stream, queue in sorted(self._queues.items()):
+            if queue and queue[0][0] < best_tag:
+                best_stream, best_tag = stream, queue[0][0]
+        return best_stream
+
+    def run(self, duration: float, start_time: float = 0.0) -> TransportStats:
+        """Transmit for ``duration`` seconds of link time."""
+        now = start_time
+        deadline = start_time + duration
+        while now < deadline:
+            stream = self._select()
+            if stream is None:
+                break
+            start_tag, message = self._queues[stream][0]
+            wire_size = message.size + self.framing_overhead
+            transmit_time = wire_size / self.bandwidth
+            if now + transmit_time > deadline:
+                break  # does not fit in the remaining window
+            self._queues[stream].popleft()
+            now += transmit_time
+            self._virtual_time = max(self._virtual_time, start_tag)
+            message.delivered_at = now
+            self.stats.record(message)
+            self.stats.overhead_bytes += self.framing_overhead
+        return self.stats
+
+
+class PerStreamTransport:
+    """One connection per stream, sharing the pipe equally.
+
+    Args:
+        bandwidth: total payload bandwidth of the node pair.
+        header_overhead: per-message protocol header bytes on every
+            connection (TCP/IP-scale, larger than a mux frame).
+        setup_overhead: handshake bytes charged once per connection.
+
+    Bandwidth sharing is processor sharing among *backlogged*
+    connections: at any instant each active connection transmits at
+    ``bandwidth / n_active`` — TCP-like fairness, insensitive to any
+    prescribed weights (the paper's complaint).
+    """
+
+    def __init__(
+        self,
+        bandwidth: float,
+        header_overhead: int = 40,
+        setup_overhead: int = 120,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.header_overhead = header_overhead
+        self.setup_overhead = setup_overhead
+        self._queues: dict[str, deque[StreamMessage]] = {}
+        self.stats = TransportStats()
+
+    def enqueue(self, message: StreamMessage) -> None:
+        if message.stream not in self._queues:
+            self._queues[message.stream] = deque()
+            self.stats.connections_used += 1
+            self.stats.overhead_bytes += self.setup_overhead
+        self._queues[message.stream].append(message)
+
+    def backlog(self, stream: str) -> int:
+        return len(self._queues.get(stream, ()))
+
+    def run(self, duration: float, start_time: float = 0.0) -> TransportStats:
+        """Transmit for ``duration`` seconds with equal sharing.
+
+        Implemented as exact processor sharing: between events, every
+        backlogged connection progresses at bandwidth/n; the next event
+        is the earliest head-of-line completion.
+        """
+        now = start_time
+        deadline = start_time + duration
+        # Remaining wire bytes of each connection's head-of-line message.
+        remaining: dict[str, float] = {}
+        while now < deadline:
+            active = sorted(
+                stream for stream, queue in self._queues.items() if queue
+            )
+            if not active:
+                break
+            rate = self.bandwidth / len(active)
+            for stream in active:
+                if stream not in remaining:
+                    head = self._queues[stream][0]
+                    remaining[stream] = head.size + self.header_overhead
+            # Earliest completion among heads at the current shared rate.
+            next_done = min(remaining[s] / rate for s in active)
+            if now + next_done > deadline:
+                elapsed = deadline - now
+                for stream in active:
+                    remaining[stream] -= rate * elapsed
+                now = deadline
+                break
+            now += next_done
+            for stream in active:
+                remaining[stream] -= rate * next_done
+            for stream in list(active):
+                if remaining[stream] <= 1e-9:
+                    message = self._queues[stream].popleft()
+                    message.delivered_at = now
+                    self.stats.record(message)
+                    self.stats.overhead_bytes += self.header_overhead
+                    del remaining[stream]
+        return self.stats

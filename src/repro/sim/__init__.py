@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate.
+
+The paper's systems (Aurora*, Medusa) are distributed processes on real
+networks.  This repository substitutes a deterministic discrete-event
+simulator: a virtual clock, an ordered event queue, and seeded randomness.
+All distributed experiments (load management, high availability, the
+Medusa economy) run on this substrate, so results are exactly
+reproducible.
+"""
+
+from repro.sim.simulator import Event, Simulator
+
+__all__ = ["Event", "Simulator"]

@@ -1,0 +1,120 @@
+"""A minimal, deterministic discrete-event simulator.
+
+Events are callbacks scheduled at virtual times.  Ties are broken by
+insertion order, which makes every run fully deterministic.  The
+simulator is intentionally tiny: the distributed-systems logic lives in
+the packages built on top of it (``repro.network``, ``repro.distributed``,
+``repro.ha``, ``repro.medusa``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Events can be cancelled before they fire; a cancelled event is
+    skipped by the event loop.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, fn={getattr(self.fn, '__name__', self.fn)}, {state})"
+
+
+class Simulator:
+    """Virtual-clock event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, callback, arg1, arg2)
+        sim.run()          # run until the event queue drains
+        sim.run(until=10)  # ...or until virtual time 10
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self.now + delay, next(self._counter), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self.now, fn, *args)
+
+    def peek_time(self) -> float | None:
+        """Virtual time of the next pending event, or None if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in time order.
+
+        Stops when the queue is empty, when the next event would occur
+        after ``until``, or after ``max_events`` events.  When stopping
+        at ``until``, the clock is advanced to ``until`` so subsequent
+        scheduling is relative to the stop time.
+        """
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return
+            next_time = self.peek_time()
+            if next_time is None:
+                if until is not None:
+                    self.now = max(self.now, until)
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+
+    @property
+    def pending(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,28 @@
+"""Synthetic stream workloads (the paper's motivating applications).
+
+Section 1 motivates stream processing with sensor networks,
+location-tracking, fabrication-line and network management; Section 4.4
+uses stock quotes.  These generators produce deterministic (seeded)
+timestamped tuple streams for those domains, used by the examples,
+tests and benchmarks.
+"""
+
+from repro.workloads.generators import (
+    BurstySource,
+    NetworkFlowSource,
+    PoissonSource,
+    SensorSource,
+    StockQuoteSource,
+    UniformSource,
+    zipf_weights,
+)
+
+__all__ = [
+    "BurstySource",
+    "NetworkFlowSource",
+    "PoissonSource",
+    "SensorSource",
+    "StockQuoteSource",
+    "UniformSource",
+    "zipf_weights",
+]

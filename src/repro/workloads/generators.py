@@ -1,0 +1,241 @@
+"""Deterministic synthetic stream sources.
+
+All generators are seeded and produce plain lists of
+:class:`~repro.core.tuples.StreamTuple` with monotone timestamps, so
+any experiment can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable
+
+from repro.core.tuples import StreamTuple
+
+
+def zipf_weights(n: int, s: float = 1.0) -> list[float]:
+    """Normalized Zipf weights for ``n`` ranks with exponent ``s``.
+
+    Used to skew group popularity (hot sensors, hot stock symbols) —
+    the skew that makes load balancing interesting.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    raw = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class _Source:
+    """Shared machinery: seeded RNG + tuple assembly."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    def _choose_weighted(self, items: list[Any], weights: list[float]) -> Any:
+        return self.rng.choices(items, weights=weights, k=1)[0]
+
+
+class UniformSource(_Source):
+    """Evenly spaced tuples built from a row factory."""
+
+    def __init__(self, rate: float, make_row: Callable[[int], dict], seed: int = 0):
+        super().__init__(seed)
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.make_row = make_row
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        spacing = 1.0 / self.rate
+        count = int(duration * self.rate)
+        return [
+            StreamTuple(self.make_row(i), timestamp=start_time + i * spacing)
+            for i in range(count)
+        ]
+
+
+class PoissonSource(_Source):
+    """Poisson arrivals with a row factory."""
+
+    def __init__(self, rate: float, make_row: Callable[[int], dict], seed: int = 0):
+        super().__init__(seed)
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.make_row = make_row
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        tuples = []
+        t = start_time
+        i = 0
+        while True:
+            t += self.rng.expovariate(self.rate)
+            if t >= start_time + duration:
+                return tuples
+            tuples.append(StreamTuple(self.make_row(i), timestamp=t))
+            i += 1
+
+
+class BurstySource(_Source):
+    """On/off load spikes: the "time-varying load spikes" of Section 1.
+
+    Alternates between a base rate and a burst rate with a fixed period
+    and duty cycle (fraction of the period spent bursting).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        period: float,
+        duty: float,
+        make_row: Callable[[int], dict],
+        seed: int = 0,
+    ):
+        super().__init__(seed)
+        if base_rate < 0 or burst_rate <= 0:
+            raise ValueError("rates must be positive (base may be 0)")
+        if period <= 0 or not 0.0 < duty < 1.0:
+            raise ValueError("need period > 0 and duty in (0, 1)")
+        self.base_rate = base_rate
+        self.burst_rate = burst_rate
+        self.period = period
+        self.duty = duty
+        self.make_row = make_row
+
+    def rate_at(self, t: float) -> float:
+        phase = math.fmod(t, self.period) / self.period
+        return self.burst_rate if phase < self.duty else self.base_rate
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        # Thinning: draw at the burst (max) rate, keep with p = rate/max.
+        tuples = []
+        t = start_time
+        i = 0
+        max_rate = max(self.burst_rate, self.base_rate)
+        while True:
+            t += self.rng.expovariate(max_rate)
+            if t >= start_time + duration:
+                return tuples
+            if self.rng.random() < self.rate_at(t) / max_rate:
+                tuples.append(StreamTuple(self.make_row(i), timestamp=t))
+                i += 1
+
+
+class SensorSource(_Source):
+    """Sensor readings: per-sensor random-walk values with Zipf-skewed
+    reporting frequency.  Fields: sensor, value."""
+
+    def __init__(
+        self,
+        n_sensors: int,
+        rate: float,
+        skew: float = 0.0,
+        seed: int = 0,
+        noise: float = 0.5,
+    ):
+        super().__init__(seed)
+        if n_sensors < 1:
+            raise ValueError("need at least one sensor")
+        self.n_sensors = n_sensors
+        self.rate = rate
+        self.noise = noise
+        self.weights = (
+            zipf_weights(n_sensors, skew) if skew > 0 else [1.0 / n_sensors] * n_sensors
+        )
+        self._values = [20.0 + self.rng.random() * 5.0 for _ in range(n_sensors)]
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        spacing = 1.0 / self.rate
+        count = int(duration * self.rate)
+        sensors = list(range(self.n_sensors))
+        tuples = []
+        for i in range(count):
+            sensor = self._choose_weighted(sensors, self.weights)
+            self._values[sensor] += self.rng.gauss(0.0, self.noise)
+            tuples.append(
+                StreamTuple(
+                    {"sensor": sensor, "value": round(self._values[sensor], 3)},
+                    timestamp=start_time + i * spacing,
+                )
+            )
+        return tuples
+
+
+class StockQuoteSource(_Source):
+    """Stock quotes (Section 4.4's example content).  Fields: sym, px, size."""
+
+    def __init__(
+        self,
+        symbols: list[str],
+        rate: float,
+        skew: float = 1.0,
+        seed: int = 0,
+        volatility: float = 0.002,
+    ):
+        super().__init__(seed)
+        if not symbols:
+            raise ValueError("need at least one symbol")
+        self.symbols = list(symbols)
+        self.rate = rate
+        self.volatility = volatility
+        self.weights = zipf_weights(len(symbols), skew)
+        self._prices = {
+            sym: 50.0 + 100.0 * self.rng.random() for sym in self.symbols
+        }
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        spacing = 1.0 / self.rate
+        count = int(duration * self.rate)
+        tuples = []
+        for i in range(count):
+            sym = self._choose_weighted(self.symbols, self.weights)
+            self._prices[sym] *= math.exp(self.rng.gauss(0.0, self.volatility))
+            tuples.append(
+                StreamTuple(
+                    {
+                        "sym": sym,
+                        "px": round(self._prices[sym], 2),
+                        "size": self.rng.randrange(1, 20) * 100,
+                    },
+                    timestamp=start_time + i * spacing,
+                )
+            )
+        return tuples
+
+
+class NetworkFlowSource(_Source):
+    """Network-monitoring flow records.  Fields: src, dst, bytes, proto."""
+
+    PROTOCOLS = ("tcp", "udp", "icmp")
+
+    def __init__(self, n_hosts: int, rate: float, skew: float = 1.2, seed: int = 0):
+        super().__init__(seed)
+        if n_hosts < 2:
+            raise ValueError("need at least two hosts")
+        self.n_hosts = n_hosts
+        self.rate = rate
+        self.weights = zipf_weights(n_hosts, skew)
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        spacing = 1.0 / self.rate
+        count = int(duration * self.rate)
+        hosts = [f"10.0.0.{i}" for i in range(self.n_hosts)]
+        tuples = []
+        for i in range(count):
+            src = self._choose_weighted(hosts, self.weights)
+            dst = self._choose_weighted(hosts, self.weights)
+            tuples.append(
+                StreamTuple(
+                    {
+                        "src": src,
+                        "dst": dst,
+                        "bytes": int(self.rng.paretovariate(1.2) * 500),
+                        "proto": self.rng.choice(self.PROTOCOLS),
+                    },
+                    timestamp=start_time + i * spacing,
+                )
+            )
+        return tuples

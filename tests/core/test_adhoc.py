@@ -1,0 +1,128 @@
+"""Tests for ad-hoc queries at connection points (Section 2.2)."""
+
+import pytest
+
+from repro.core.adhoc import (
+    AdHocError,
+    attach_adhoc,
+    detach_adhoc,
+    run_adhoc,
+)
+from repro.core.builder import QueryBuilder
+from repro.core.engine import AuroraEngine
+from repro.core.operators.map import Map
+from repro.core.query import QueryNetwork, execute
+from repro.core.tuples import make_stream
+
+
+def running_network():
+    """in:src -(CP)-> m -> out:live ; the CP arc is 'tap'."""
+    net = QueryNetwork()
+    net.add_box("m", Map(lambda v: v))
+    net.connect("in:src", "m", connection_point=True, arc_id="tap")
+    net.connect("m", "out:live")
+    return net
+
+
+def history_query():
+    return (
+        QueryBuilder("adhoc")
+        .source("history")
+        .where(lambda t: t["A"] % 2 == 0)
+        .sink("evens")
+        .build()
+    )
+
+
+class TestRunAdhoc:
+    def test_one_shot_over_history(self):
+        net = running_network()
+        execute(net, {"src": make_stream([{"A": i} for i in range(10)])})
+        results = run_adhoc(net, "tap", history_query())
+        assert [t["A"] for t in results["evens"]] == [0, 2, 4, 6, 8]
+
+    def test_history_not_consumed(self):
+        net = running_network()
+        execute(net, {"src": make_stream([{"A": 1}])})
+        run_adhoc(net, "tap", history_query())
+        run_adhoc(net, "tap", history_query())
+        [(_, cp)] = list(net.connection_points())
+        assert len(cp.read_history()) == 1
+
+    def test_requires_connection_point(self):
+        net = running_network()
+        live_arc = net.outputs["live"].id
+        with pytest.raises(AdHocError, match="no connection point"):
+            run_adhoc(net, live_arc, history_query())
+
+    def test_unknown_arc(self):
+        with pytest.raises(AdHocError, match="unknown arc"):
+            run_adhoc(running_network(), "ghost", history_query())
+
+    def test_input_name_must_exist(self):
+        net = running_network()
+        with pytest.raises(AdHocError, match="no input"):
+            run_adhoc(net, "tap", history_query(), input_name="wrong")
+
+    def test_retention_bounds_visible_history(self):
+        net = QueryNetwork()
+        net.add_box("m", Map(lambda v: v))
+        net.connect("in:src", "m", connection_point=True, retention=3, arc_id="tap")
+        net.connect("m", "out:live")
+        execute(net, {"src": make_stream([{"A": i} for i in range(10)])})
+        results = run_adhoc(net, "tap", history_query())
+        # Only the last 3 tuples (7, 8, 9) are retained; 8 is even.
+        assert [t["A"] for t in results["evens"]] == [8]
+
+
+class TestAttachedQueries:
+    def test_attached_query_sees_history_then_live(self):
+        net = running_network()
+        engine = AuroraEngine(net)
+        engine.push_many("src", make_stream([{"A": 0}, {"A": 1}], spacing=0.0))
+        engine.run_until_idle()
+        [(_, cp)] = list(net.connection_points())
+        attached = attach_adhoc(cp, history_query())
+        # History (A=0) already processed:
+        assert [t["A"] for t in attached.outputs["evens"]] == [0]
+        # Live tuples flow in automatically via the subscription.
+        engine.push_many("src", make_stream([{"A": 2}, {"A": 3}], spacing=0.0))
+        engine.run_until_idle()
+        assert [t["A"] for t in attached.outputs["evens"]] == [0, 2]
+        assert attached.tuples_seen == 4
+
+    def test_detach_stops_live_feed(self):
+        net = running_network()
+        engine = AuroraEngine(net)
+        [(_, cp)] = list(net.connection_points())
+        attached = attach_adhoc(cp, history_query())
+        detach_adhoc(cp, attached)
+        engine.push_many("src", make_stream([{"A": 2}], spacing=0.0))
+        engine.run_until_idle()
+        assert attached.outputs["evens"] == []
+
+    def test_finish_flushes_windowed_adhoc(self):
+        windowed = (
+            QueryBuilder()
+            .source("history")
+            .tumble("cnt", by=("A",), value="A")
+            .sink("counts")
+            .build()
+        )
+        net = running_network()
+        engine = AuroraEngine(net)
+        [(_, cp)] = list(net.connection_points())
+        attached = attach_adhoc(cp, windowed)
+        engine.push_many("src", make_stream([{"A": 1}, {"A": 1}], spacing=0.0))
+        engine.run_until_idle()
+        outputs = attached.finish()
+        assert [t.values for t in outputs["counts"]] == [{"A": 1, "result": 2}]
+
+    def test_attach_without_live(self):
+        net = running_network()
+        execute(net, {"src": make_stream([{"A": 2}])})
+        [(_, cp)] = list(net.connection_points())
+        attached = attach_adhoc(cp, history_query(), live=False)
+        assert [t["A"] for t in attached.outputs["evens"]] == [2]
+        cp.record(make_stream([{"A": 4}])[0])
+        assert len(attached.outputs["evens"]) == 1  # not subscribed

@@ -1,0 +1,97 @@
+"""Tests for aggregate functions and the split/combine algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregates import (
+    AggregateFunction,
+    available_aggregates,
+    get_aggregate,
+    register_aggregate,
+)
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_aggregates()
+        for expected in ("cnt", "sum", "max", "min", "avg", "avg_partial"):
+            assert expected in names
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="available"):
+            get_aggregate("median")
+
+    def test_register_custom(self):
+        product = AggregateFunction(
+            "test_product",
+            initial=lambda: 1,
+            update=lambda s, v: s * v,
+            result=lambda s: s,
+            combiner_name="test_product",
+        )
+        register_aggregate(product)
+        assert get_aggregate("test_product").apply([2, 3, 4]) == 24
+
+
+class TestBasicSemantics:
+    def test_cnt(self):
+        assert get_aggregate("cnt").apply([10, 20, 30]) == 3
+
+    def test_sum(self):
+        assert get_aggregate("sum").apply([1, 2, 3]) == 6
+
+    def test_max_min(self):
+        assert get_aggregate("max").apply([3, 9, 1]) == 9
+        assert get_aggregate("min").apply([3, 9, 1]) == 1
+
+    def test_avg_matches_figure_2_example(self):
+        # The paper: averaging B over the two tuples with A=1 gives 2.5.
+        assert get_aggregate("avg").apply([2, 3]) == 2.5
+
+    def test_avg_empty_is_none(self):
+        assert get_aggregate("avg").apply([]) is None
+
+    def test_first_last(self):
+        assert get_aggregate("first").apply([7, 8, 9]) == 7
+        assert get_aggregate("last").apply([7, 8, 9]) == 9
+
+
+class TestCombineAlgebra:
+    """The paper's requirement: agg(all) == combine(agg(prefix), agg(suffix))."""
+
+    def test_cnt_combiner_is_sum(self):
+        assert get_aggregate("cnt").combiner().name == "sum"
+
+    def test_max_combiner_is_max(self):
+        assert get_aggregate("max").combiner().name == "max"
+
+    def test_avg_not_splittable(self):
+        agg = get_aggregate("avg")
+        assert not agg.splittable
+        with pytest.raises(ValueError, match="no combination function"):
+            agg.combiner()
+
+    @pytest.mark.parametrize("name", ["cnt", "sum", "max", "min"])
+    @given(values=st.lists(st.integers(-100, 100), min_size=2, max_size=30),
+           data=st.data())
+    def test_split_combine_identity(self, name, values, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(values) - 1))
+        agg = get_aggregate(name)
+        combine = agg.combiner()
+        whole = agg.apply(values)
+        left = agg.apply(values[:k])
+        right = agg.apply(values[k:])
+        assert combine.apply([left, right]) == whole
+
+    @given(values=st.lists(st.integers(-100, 100), min_size=2, max_size=30),
+           data=st.data())
+    def test_avg_partial_split_combine(self, values, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(values) - 1))
+        agg = get_aggregate("avg_partial")
+        combine = agg.combiner()
+        left = agg.apply(values[:k])
+        right = agg.apply(values[k:])
+        merged_sum, merged_cnt = combine.apply([left, right])
+        assert merged_sum == sum(values)
+        assert merged_cnt == len(values)

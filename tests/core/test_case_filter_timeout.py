@@ -1,0 +1,119 @@
+"""Tests for CaseFilter and the Tumble timeout emission parameter."""
+
+import pytest
+
+from repro.core.operators.case_filter import CaseFilter, value_router
+from repro.core.operators.tumble import Tumble
+from repro.core.tuples import StreamTuple, make_stream
+
+
+class TestCaseFilter:
+    def test_routes_to_first_match(self):
+        box = CaseFilter([
+            lambda t: t["A"] < 10,
+            lambda t: t["A"] < 100,   # overlaps: first match wins
+        ])
+        assert box.process(StreamTuple({"A": 5})) == [(0, StreamTuple({"A": 5}))]
+        assert box.process(StreamTuple({"A": 50})) == [(1, StreamTuple({"A": 50}))]
+
+    def test_no_match_dropped_without_else(self):
+        box = CaseFilter([lambda t: t["A"] < 10])
+        assert box.process(StreamTuple({"A": 99})) == []
+        assert box.dropped == 1
+
+    def test_else_port_catches_rest(self):
+        box = CaseFilter([lambda t: t["A"] < 10], with_else_port=True)
+        assert box.n_outputs == 2
+        assert box.process(StreamTuple({"A": 99})) == [(1, StreamTuple({"A": 99}))]
+        assert box.else_port == 1
+
+    def test_else_port_property_without_else(self):
+        with pytest.raises(ValueError):
+            _ = CaseFilter([lambda t: True]).else_port
+
+    def test_routed_counters(self):
+        box = CaseFilter(
+            [lambda t: t["A"] == 1, lambda t: t["A"] == 2], with_else_port=True
+        )
+        for a in (1, 1, 2, 7):
+            box.process(StreamTuple({"A": a}))
+        assert box.routed == [2, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CaseFilter([])
+        with pytest.raises(ValueError):
+            CaseFilter([lambda t: True], names=["a", "b"])
+        with pytest.raises(ValueError):
+            CaseFilter([lambda t: True]).process(StreamTuple({"A": 1}), port=1)
+
+    def test_value_router(self):
+        box = value_router("proto", ["tcp", "udp"])
+        assert box.n_outputs == 3
+        assert box.process(StreamTuple({"proto": "udp"}))[0][0] == 1
+        assert box.process(StreamTuple({"proto": "icmp"}))[0][0] == 2
+        assert "proto == 'tcp'" in box.describe()
+
+    def test_in_network_execution(self):
+        from repro.core.query import QueryNetwork, execute
+
+        net = QueryNetwork()
+        net.add_box("route", value_router("proto", ["tcp", "udp"]))
+        net.connect("in:flows", "route")
+        net.connect(("route", 0), "out:tcp")
+        net.connect(("route", 1), "out:udp")
+        net.connect(("route", 2), "out:other")
+        results = execute(net, {"flows": make_stream([
+            {"proto": "tcp"}, {"proto": "udp"}, {"proto": "icmp"}, {"proto": "tcp"},
+        ])})
+        assert len(results["tcp"]) == 2
+        assert len(results["udp"]) == 1
+        assert len(results["other"]) == 1
+
+
+class TestTumbleTimeout:
+    def test_stale_window_emitted_on_next_arrival(self):
+        box = Tumble("cnt", groupby=("A",), value_attr="A", timeout=5.0)
+        box.process(StreamTuple({"A": 1}, timestamp=0.0))
+        box.process(StreamTuple({"A": 1}, timestamp=1.0))
+        # A long gap, then an arrival of the SAME group: the old window
+        # timed out and is emitted; the new tuple opens a fresh window.
+        out = [t for _, t in box.process(StreamTuple({"A": 1}, timestamp=10.0))]
+        assert [t.values for t in out] == [{"A": 1, "result": 2}]
+        assert box.timeouts_fired == 1
+        [(_, final)] = box.flush()
+        assert final.values == {"A": 1, "result": 1}
+
+    def test_no_timeout_within_window(self):
+        box = Tumble("cnt", groupby=("A",), value_attr="A", timeout=5.0)
+        box.process(StreamTuple({"A": 1}, timestamp=0.0))
+        out = box.process(StreamTuple({"A": 1}, timestamp=4.0))
+        assert out == []
+        assert box.timeouts_fired == 0
+
+    def test_infinite_timeout_is_paper_default(self):
+        # "we assume that these parameters have been set to output a
+        # tuple whenever a window is full (i.e., never as a result of a
+        # timeout)".
+        box = Tumble("cnt", groupby=("A",), value_attr="A")
+        box.process(StreamTuple({"A": 1}, timestamp=0.0))
+        assert box.process(StreamTuple({"A": 1}, timestamp=1e9)) == []
+
+    def test_count_mode_timeout(self):
+        box = Tumble("sum", groupby=("A",), value_attr="B",
+                     mode="count", window_size=10, timeout=2.0)
+        box.process(StreamTuple({"A": 1, "B": 5}, timestamp=0.0))
+        out = [t for _, t in box.process(StreamTuple({"A": 2, "B": 1}, timestamp=9.0))]
+        assert [t.values for t in out] == [{"A": 1, "result": 5}]
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            Tumble("cnt", groupby=("A",), value_attr="A", timeout=0)
+
+    def test_snapshot_preserves_timeout_state(self):
+        box = Tumble("cnt", groupby=("A",), value_attr="A", timeout=5.0)
+        box.process(StreamTuple({"A": 1}, timestamp=0.0))
+        clone = Tumble("cnt", groupby=("A",), value_attr="A", timeout=5.0)
+        clone.restore(box.snapshot())
+        out = [t for _, t in clone.process(StreamTuple({"A": 1}, timestamp=10.0))]
+        assert [t.values for t in out] == [{"A": 1, "result": 1}]

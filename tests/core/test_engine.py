@@ -1,0 +1,226 @@
+"""Tests for the single-node Aurora run-time engine."""
+
+import pytest
+
+from repro.core.engine import AuroraEngine
+from repro.core.operators.filter import Filter
+from repro.core.operators.map import Map
+from repro.core.operators.tumble import Tumble
+from repro.core.operators.union import Union
+from repro.core.qos import QoSSpec, latency_qos
+from repro.core.query import QueryNetwork
+from repro.core.scheduler import (
+    LongestQueueScheduler,
+    QoSScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.core.shedder import LoadShedder
+from repro.core.tuples import FIGURE_2_STREAM, make_stream
+
+
+def pipeline_network(cost=0.001):
+    net = QueryNetwork("pipe")
+    net.add_box("f", Filter(lambda t: t["A"] > 0, cost_per_tuple=cost))
+    net.add_box("m", Map(lambda v: {"A": v["A"] + 100}, cost_per_tuple=cost))
+    net.connect("in:src", "f")
+    net.connect("f", "m")
+    net.connect("m", "out:sink")
+    return net
+
+
+class TestBasicExecution:
+    def test_end_to_end_delivery(self):
+        engine = AuroraEngine(pipeline_network())
+        engine.push_many("src", make_stream([{"A": 1}, {"A": -2}, {"A": 3}]))
+        engine.run_until_idle()
+        assert [t["A"] for t in engine.outputs["sink"]] == [101, 103]
+
+    def test_matches_reference_executor_on_figure_2(self):
+        from repro.core.query import execute
+
+        def build():
+            net = QueryNetwork()
+            net.add_box("t", Tumble("cnt", groupby=("A",), value_attr="B"))
+            net.connect("in:src", "t")
+            net.connect("t", "out:agg")
+            return net
+
+        reference = execute(build(), {"src": make_stream(FIGURE_2_STREAM)})
+        engine = AuroraEngine(build())
+        engine.push_many("src", make_stream(FIGURE_2_STREAM))
+        engine.run_until_idle()
+        engine.flush()
+        assert [t.values for t in engine.outputs["agg"]] == [
+            t.values for t in reference["agg"]
+        ]
+
+    def test_unknown_input_rejected(self):
+        engine = AuroraEngine(pipeline_network())
+        with pytest.raises(KeyError):
+            engine.push("ghost", make_stream([{"A": 1}])[0])
+
+    def test_clock_advances_with_processing(self):
+        engine = AuroraEngine(pipeline_network(cost=0.01))
+        engine.push_many("src", make_stream([{"A": 1}] * 5, spacing=0.0))
+        engine.run_until_idle()
+        # 5 tuples through 2 boxes at 0.01 each = ~0.1s of box time minimum.
+        assert engine.clock == pytest.approx(0.1, rel=0.2)
+
+    def test_latency_recorded_per_output(self):
+        engine = AuroraEngine(pipeline_network(cost=0.01))
+        engine.push_many("src", make_stream([{"A": 1}], spacing=0.0))
+        engine.run_until_idle()
+        assert engine.qos_monitor.mean_latency("sink") > 0.0
+
+    def test_cpu_capacity_scales_time(self):
+        slow = AuroraEngine(pipeline_network(cost=0.01), cpu_capacity=1.0)
+        fast = AuroraEngine(pipeline_network(cost=0.01), cpu_capacity=10.0)
+        for engine in (slow, fast):
+            engine.push_many("src", make_stream([{"A": 1}] * 10, spacing=0.0))
+            engine.run_until_idle()
+        assert fast.clock < slow.clock
+
+    def test_run_until_idle_bound(self):
+        engine = AuroraEngine(pipeline_network())
+        engine.push_many("src", make_stream([{"A": 1}] * 50, spacing=0.0))
+        with pytest.raises(RuntimeError):
+            engine.run_until_idle(max_steps=1)
+
+
+class TestTrainScheduling:
+    def test_train_size_validation(self):
+        with pytest.raises(ValueError):
+            AuroraEngine(pipeline_network(), train_size=0)
+
+    def test_larger_trains_fewer_steps(self):
+        small = AuroraEngine(pipeline_network(), train_size=1, push_trains=False)
+        large = AuroraEngine(pipeline_network(), train_size=50, push_trains=False)
+        stream = make_stream([{"A": 1}] * 50, spacing=0.0)
+        for engine in (small, large):
+            engine.push_many("src", stream)
+            engine.run_until_idle()
+        assert large.steps < small.steps
+        assert small.outputs["sink"] == large.outputs["sink"]
+
+    def test_train_pushing_reduces_scheduling_overhead(self):
+        pushed = AuroraEngine(
+            pipeline_network(), train_size=50, push_trains=True, scheduling_overhead=0.01
+        )
+        unpushed = AuroraEngine(
+            pipeline_network(), train_size=50, push_trains=False, scheduling_overhead=0.01
+        )
+        stream = make_stream([{"A": 1}] * 50, spacing=0.0)
+        for engine in (pushed, unpushed):
+            engine.push_many("src", stream)
+            engine.run_until_idle()
+        assert pushed.clock < unpushed.clock
+        assert pushed.outputs["sink"] == unpushed.outputs["sink"]
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("name", ["round_robin", "longest_queue", "qos"])
+    def test_all_disciplines_deliver_everything(self, name):
+        engine = AuroraEngine(pipeline_network(), scheduler=make_scheduler(name))
+        engine.push_many("src", make_stream([{"A": i} for i in range(1, 21)], spacing=0.0))
+        engine.run_until_idle()
+        assert len(engine.outputs["sink"]) == 20
+
+    def test_make_scheduler_unknown(self):
+        with pytest.raises(KeyError):
+            make_scheduler("fifo")
+
+    def test_longest_queue_picks_largest(self):
+        net = QueryNetwork()
+        net.add_box("a", Map(lambda v: v))
+        net.add_box("b", Map(lambda v: v))
+        net.connect("in:x", "a")
+        net.connect("in:y", "b")
+        net.connect("a", "out:oa")
+        net.connect("b", "out:ob")
+        engine = AuroraEngine(net, scheduler=LongestQueueScheduler(), push_trains=False)
+        engine.push_many("x", make_stream([{"A": 1}], spacing=0.0))
+        engine.push_many("y", make_stream([{"A": 1}] * 5, spacing=0.0))
+        assert engine.scheduler.choose(engine) == "b"
+
+    def test_scheduler_swap_mid_run(self):
+        # Section 2.3's "switching scheduler disciplines" tactic.
+        engine = AuroraEngine(pipeline_network(), scheduler=RoundRobinScheduler())
+        engine.push_many("src", make_stream([{"A": 1}] * 10, spacing=0.0))
+        engine.step()
+        engine.scheduler = QoSScheduler()
+        engine.run_until_idle()
+        assert len(engine.outputs["sink"]) == 10
+
+
+class TestReachability:
+    def test_outputs_reachable_from_box(self):
+        engine = AuroraEngine(pipeline_network())
+        assert engine.outputs_reachable_from("f") == frozenset({"sink"})
+        assert engine.outputs_reachable_from("m") == frozenset({"sink"})
+
+    def test_outputs_reachable_from_input(self):
+        engine = AuroraEngine(pipeline_network())
+        assert engine.outputs_reachable_from_input("src") == frozenset({"sink"})
+
+    def test_invalidate_caches_after_network_change(self):
+        net = pipeline_network()
+        engine = AuroraEngine(net)
+        engine.outputs_reachable_from("f")
+        net.add_box("extra", Map(lambda v: v))
+        net.connect(("f", 0), "extra")
+        net.connect("extra", "out:extra_out")
+        engine.invalidate_caches()
+        assert "extra_out" in engine.outputs_reachable_from("f")
+        assert "extra_out" in engine.outputs
+
+
+class TestLoadAndShedding:
+    def test_load_factor_reflects_queued_work(self):
+        engine = AuroraEngine(pipeline_network(cost=0.01), load_window=1.0)
+        assert engine.load_factor() == 0.0
+        engine.push_many("src", make_stream([{"A": 1}] * 200, spacing=0.0))
+        assert engine.load_factor() > 0.0
+
+    def test_shedder_drops_under_overload(self):
+        shedder = LoadShedder(seed=1)
+        engine = AuroraEngine(
+            pipeline_network(cost=0.05),
+            shedder=shedder,
+            load_window=0.1,
+        )
+        stream = make_stream([{"A": 1}] * 500, spacing=0.0)
+        # Saturate, then force a shedding decision and keep pushing.
+        engine.push_many("src", stream)
+        shedder.update(engine)
+        admitted = engine.push_many("src", stream)
+        assert admitted < len(stream)
+        assert shedder.tuples_dropped > 0
+
+    def test_no_shedding_when_underloaded(self):
+        shedder = LoadShedder(seed=1)
+        engine = AuroraEngine(pipeline_network(), shedder=shedder)
+        shedder.update(engine)
+        assert shedder.drop_probability == {}
+        assert engine.push_many("src", make_stream([{"A": 1}] * 10)) == 10
+
+    def test_shed_tuples_lower_delivered_fraction(self):
+        shedder = LoadShedder(seed=2)
+        engine = AuroraEngine(
+            pipeline_network(cost=0.05), shedder=shedder, load_window=0.05
+        )
+        engine.push_many("src", make_stream([{"A": 1}] * 400, spacing=0.0))
+        shedder.update(engine)
+        engine.push_many("src", make_stream([{"A": 1}] * 400, spacing=0.0))
+        assert engine.qos_monitor.delivered_fraction("sink") < 1.0
+
+
+class TestUtilityAggregation:
+    def test_aggregate_utility_uses_specs(self):
+        engine = AuroraEngine(
+            pipeline_network(cost=0.0),
+            qos_specs={"sink": QoSSpec(latency=latency_qos(10.0, 20.0))},
+        )
+        engine.push_many("src", make_stream([{"A": 1}] * 5, spacing=0.0))
+        engine.run_until_idle()
+        assert engine.aggregate_utility() == pytest.approx(1.0)

@@ -1,0 +1,137 @@
+"""Property-based tests on operator invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators.case_filter import CaseFilter
+from repro.core.operators.join import equijoin
+from repro.core.operators.resample import Resample
+from repro.core.operators.union import Union
+from repro.core.query import QueryNetwork, execute
+from repro.core.tuples import StreamTuple, make_stream
+
+
+class TestJoinMatchesNaive:
+    @given(
+        left=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 9)), max_size=25),
+        right=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 9)), max_size=25),
+        window=st.integers(1, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_windowed_join_equals_naive_window_scan(self, left, right, window):
+        """Property: the symmetric join emits exactly the pairs a naive
+        scan of bounded-history buffers would produce."""
+        box = equijoin("k", window=window)
+        # Interleave: all left tuples first, then right (deterministic
+        # but exercises eviction on the left buffer).
+        expected = 0
+        for index, (k, _v) in enumerate(right):
+            visible_left = left[max(0, len(left) - window):]
+            expected += sum(1 for lk, _lv in visible_left if lk == k)
+        emitted = 0
+        for k, v in left:
+            emitted += len(box.process(StreamTuple({"k": k, "v": v}), port=0))
+        for k, v in right:
+            emitted += len(box.process(StreamTuple({"k": k, "w": v}), port=1))
+        assert emitted == expected
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_join_symmetric_in_ports(self, keys):
+        """Matching count is the same whichever side arrives first."""
+        a = equijoin("k", window=100)
+        b = equijoin("k", window=100)
+        count_a = 0
+        for k in keys:
+            count_a += len(a.process(StreamTuple({"k": k}), port=0))
+        count_a += sum(
+            len(a.process(StreamTuple({"k": k}), port=1)) for k in keys
+        )
+        count_b = 0
+        for k in keys:
+            count_b += len(b.process(StreamTuple({"k": k}), port=1))
+        count_b += sum(
+            len(b.process(StreamTuple({"k": k}), port=0)) for k in keys
+        )
+        assert count_a == count_b
+
+
+class TestResampleProperties:
+    @given(
+        stamps=st.lists(
+            st.floats(0.01, 50.0, allow_nan=False, allow_subnormal=False),
+            min_size=2, max_size=30, unique=True,
+        ),
+        interval=st.sampled_from([0.5, 1.0, 2.5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_outputs_exactly_on_grid_and_monotone(self, stamps, interval):
+        box = Resample("v", interval=interval)
+        emitted = []
+        for i, ts in enumerate(sorted(stamps)):
+            for _, out in box.process(StreamTuple({"v": float(i)}, timestamp=ts)):
+                emitted.append(out)
+        times = [t["time"] for t in emitted]
+        assert times == sorted(times)
+        for t in times:
+            assert abs(t / interval - round(t / interval)) < 1e-6
+        # All grid points lie within the observed span.
+        if times:
+            assert min(stamps) <= times[0] <= times[-1] <= max(stamps) + 1e-9
+
+    @given(
+        values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=2, max_size=20)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_interpolation_bounded_by_neighbors(self, values):
+        box = Resample("v", interval=0.5)
+        emitted = []
+        for i, v in enumerate(values):
+            for _, out in box.process(StreamTuple({"v": v}, timestamp=float(i))):
+                emitted.append(out)
+        lo, hi = min(values), max(values)
+        assert all(lo - 1e-9 <= t["v"] <= hi + 1e-9 for t in emitted)
+
+
+class TestRoutingConservation:
+    @given(
+        rows=st.lists(st.integers(0, 30), max_size=60),
+        cut1=st.integers(0, 15),
+        cut2=st.integers(0, 30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_case_filter_with_else_is_a_partition(self, rows, cut1, cut2):
+        """Property: a CaseFilter with an else port neither loses nor
+        duplicates tuples, for any predicates."""
+        net = QueryNetwork()
+        net.add_box("route", CaseFilter(
+            [lambda t: t["A"] < cut1, lambda t: t["A"] < cut2],
+            with_else_port=True,
+        ))
+        net.connect("in:src", "route")
+        net.connect(("route", 0), "out:p0")
+        net.connect(("route", 1), "out:p1")
+        net.connect(("route", 2), "out:rest")
+        results = execute(net, {"src": make_stream([{"A": a} for a in rows])})
+        total = sum(len(results[name]) for name in ("p0", "p1", "rest"))
+        assert total == len(rows)
+
+    @given(
+        n_inputs=st.integers(1, 5),
+        per_input=st.integers(0, 20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_union_conserves_all_inputs(self, n_inputs, per_input):
+        net = QueryNetwork()
+        net.add_box("u", Union(n_inputs))
+        for port in range(n_inputs):
+            net.connect(f"in:s{port}", ("u", port))
+        net.connect("u", "out:merged")
+        inputs = {
+            f"s{port}": make_stream(
+                [{"A": i} for i in range(per_input)], start_time=port * 100.0
+            )
+            for port in range(n_inputs)
+        }
+        results = execute(net, inputs)
+        assert len(results["merged"]) == n_inputs * per_input

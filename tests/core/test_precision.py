@@ -1,0 +1,113 @@
+"""Tests for precision-based QoS (Section 7.1's accuracy continuum)."""
+
+import pytest
+
+from repro.core.precision import (
+    DeviationReport,
+    measure_deviation,
+    precision_qos,
+    precision_utility,
+)
+from repro.core.tuples import StreamTuple
+
+
+def outs(rows):
+    return [StreamTuple(r) for r in rows]
+
+
+class TestPrecisionQoS:
+    def test_graph_shape(self):
+        graph = precision_qos(tolerable=0.1, zero_at=0.5)
+        assert graph(0.0) == 1.0
+        assert graph(0.1) == 1.0
+        assert graph(0.3) == pytest.approx(0.5)
+        assert graph(0.9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_qos(0.5, 0.5)
+
+
+class TestMeasureDeviation:
+    def test_identical_outputs_zero_deviation(self):
+        precise = outs([{"g": 1, "result": 10}, {"g": 2, "result": 5}])
+        report = measure_deviation(precise, list(precise), ("g",))
+        assert report.deviation == 0.0
+        assert report.groups_compared == 2
+
+    def test_value_error_measured(self):
+        precise = outs([{"g": 1, "result": 100}])
+        approx = outs([{"g": 1, "result": 80}])
+        report = measure_deviation(precise, approx, ("g",))
+        assert report.mean_relative_error == pytest.approx(0.2)
+        assert report.max_relative_error == pytest.approx(0.2)
+
+    def test_missing_group_counted(self):
+        precise = outs([{"g": 1, "result": 10}, {"g": 2, "result": 10}])
+        approx = outs([{"g": 1, "result": 10}])
+        report = measure_deviation(precise, approx, ("g",))
+        assert report.missing_groups_fraction == pytest.approx(0.5)
+
+    def test_spurious_group_counted(self):
+        precise = outs([{"g": 1, "result": 10}])
+        approx = outs([{"g": 1, "result": 10}, {"g": 9, "result": 3}])
+        report = measure_deviation(precise, approx, ("g",))
+        assert report.spurious_groups_fraction == pytest.approx(0.5)
+
+    def test_split_windows_with_same_totals_are_precise(self):
+        # Window boundaries may shift (e.g., after a split); per-group
+        # totals are the right invariant.
+        precise = outs([{"g": 1, "result": 10}])
+        approx = outs([{"g": 1, "result": 4}, {"g": 1, "result": 6}])
+        report = measure_deviation(precise, approx, ("g",))
+        assert report.deviation == 0.0
+
+    def test_empty_outputs(self):
+        report = measure_deviation([], [], ("g",))
+        assert report.deviation == 0.0
+
+    def test_small_exact_values_use_absolute_floor(self):
+        precise = outs([{"g": 1, "result": 0.1}])
+        approx = outs([{"g": 1, "result": 0.0}])
+        report = measure_deviation(precise, approx, ("g",))
+        assert report.mean_relative_error == pytest.approx(0.1)
+
+
+class TestPrecisionUtility:
+    def test_utility_from_report(self):
+        graph = precision_qos(0.05, 0.55)
+        report = DeviationReport(0.3, 0.3, 0.0, 0.0, 4)
+        assert precision_utility(report, graph) == pytest.approx(0.5)
+
+    def test_shedding_experiment_shape(self):
+        """More shedding -> more deviation -> less precision utility
+        (the in-miniature version of experiment E16)."""
+        import random
+
+        from repro.core.builder import QueryBuilder
+        from repro.core.query import execute
+        from repro.core.tuples import make_stream
+
+        rng = random.Random(0)
+        rows = [{"g": i % 4, "v": rng.randrange(10)} for i in range(400)]
+
+        def run(drop_probability):
+            kept = [r for r in rows if rng.random() >= drop_probability]
+            net = (
+                QueryBuilder()
+                .source("src")
+                .tumble("sum", by=("g",), value="v", mode="count", window_size=10)
+                .sink("agg")
+                .build()
+            )
+            return execute(net, {"src": make_stream(kept)})["agg"]
+
+        precise = run(0.0)
+        graph = precision_qos(0.02, 1.0)
+        previous_utility = 1.1
+        for drop in (0.1, 0.4, 0.8):
+            report = measure_deviation(precise, run(drop), ("g",))
+            utility = precision_utility(report, graph)
+            assert utility <= previous_utility + 0.15  # monotone-ish
+            previous_utility = utility
+        assert previous_utility < 0.6  # heavy shedding hurts precision

@@ -1,0 +1,121 @@
+"""Tests for QoS graphs, specs and the monitor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.qos import (
+    PiecewiseLinear,
+    QoSMonitor,
+    QoSSpec,
+    latency_qos,
+    loss_qos,
+)
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        f = PiecewiseLinear([(0, 0), (10, 100)])
+        assert f(5) == 50
+
+    def test_clamps_outside_range(self):
+        f = PiecewiseLinear([(0, 1), (10, 0)])
+        assert f(-5) == 1
+        assert f(50) == 0
+
+    def test_exact_breakpoints(self):
+        f = PiecewiseLinear([(0, 1), (5, 0.5), (10, 0)])
+        assert f(0) == 1
+        assert f(5) == 0.5
+        assert f(10) == 0
+
+    def test_nonmonotone_x_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([(0, 1), (0, 0)])
+
+    def test_shift_implements_qos_inference_rule(self):
+        # Section 7.1: Q_i(t) = Q_o(t + T_B).
+        q_o = latency_qos(good_until=1.0, zero_at=2.0)
+        q_i = q_o.shift(0.5)
+        for t in (0.0, 0.25, 0.5, 1.0, 1.5):
+            assert q_i(t) == pytest.approx(q_o(t + 0.5))
+
+    def test_slope_at(self):
+        f = PiecewiseLinear([(0, 1), (1, 1), (2, 0)])
+        assert f.slope_at(0.5) == 0.0
+        assert f.slope_at(1.5) == -1.0
+        assert f.slope_at(5.0) == 0.0
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_output_bounded_by_breakpoint_range(self, x):
+        f = PiecewiseLinear([(0, 0.2), (1, 1.0), (2, 0.0)])
+        assert 0.0 <= f(x) <= 1.0
+
+
+class TestFactories:
+    def test_latency_qos_shape(self):
+        q = latency_qos(good_until=1.0, zero_at=3.0)
+        assert q(0.5) == 1.0
+        assert q(2.0) == pytest.approx(0.5)
+        assert q(3.5) == 0.0
+
+    def test_latency_qos_validation(self):
+        with pytest.raises(ValueError):
+            latency_qos(good_until=2.0, zero_at=1.0)
+
+    def test_loss_qos_shape(self):
+        q = loss_qos()
+        assert q(1.0) == 1.0
+        assert q(0.5) == pytest.approx(0.5)
+        assert q(0.0) == 0.0
+
+
+class TestQoSSpec:
+    def test_combined_utility_is_product(self):
+        spec = QoSSpec(latency=latency_qos(1, 2), loss=loss_qos())
+        assert spec.utility(latency=1.5, delivered_fraction=0.5) == pytest.approx(0.25)
+
+    def test_inferred_upstream_shifts_latency_only(self):
+        spec = QoSSpec(latency=latency_qos(1, 2), importance=3.0)
+        inferred = spec.inferred_upstream(t_b=0.5)
+        assert inferred.latency(0.5) == spec.latency(1.0)
+        assert inferred.importance == 3.0
+        assert inferred.loss is spec.loss
+
+    def test_importance_validation(self):
+        with pytest.raises(ValueError):
+            QoSSpec(importance=0)
+
+
+class TestQoSMonitor:
+    def test_records_latency_and_utility(self):
+        monitor = QoSMonitor({"out": QoSSpec(latency=latency_qos(1, 2))})
+        monitor.record_output("out", 0.5)
+        assert monitor.mean_latency("out") == 0.5
+        assert monitor.utility("out") == 1.0
+
+    def test_shedding_reduces_delivered_fraction(self):
+        monitor = QoSMonitor()
+        monitor.record_output("out", 0.1)
+        monitor.record_shed("out", 1)
+        assert monitor.delivered_fraction("out") == 0.5
+
+    def test_default_spec_created_on_demand(self):
+        monitor = QoSMonitor()
+        spec = monitor.spec_for("new_output")
+        assert isinstance(spec, QoSSpec)
+
+    def test_aggregate_utility_weighted_by_importance(self):
+        monitor = QoSMonitor({
+            "a": QoSSpec(latency=latency_qos(1, 2), importance=1.0),
+            "b": QoSSpec(latency=latency_qos(1, 2), importance=3.0),
+        })
+        monitor.record_output("a", 0.0)   # utility 1.0
+        monitor.record_output("b", 2.0)   # utility 0.0
+        assert monitor.aggregate_utility() == pytest.approx(0.25)
+
+    def test_aggregate_utility_empty_monitor(self):
+        assert QoSMonitor().aggregate_utility() == 1.0
+
+    def test_delivered_fraction_with_no_traffic(self):
+        assert QoSMonitor().delivered_fraction("x") == 1.0

@@ -1,0 +1,122 @@
+"""Tests for the statistics utilities and network visualization."""
+
+import pytest
+
+from repro.core.operators.filter import Filter
+from repro.core.operators.tumble import Tumble
+from repro.core.query import QueryNetwork, execute
+from repro.core.stats import EWMA, RateEstimator, summarize_network
+from repro.core.tuples import make_stream
+from repro.core.viz import describe, to_dot
+
+
+def sample_network():
+    net = QueryNetwork("sample")
+    net.add_box("f", Filter(lambda t: t["A"] > 0, name="A > 0"))
+    net.add_box("t", Tumble("cnt", groupby=("A",), value_attr="A"))
+    net.connect("in:src", "f", connection_point=True)
+    net.connect("f", "t")
+    net.connect("t", "out:counts")
+    return net
+
+
+class TestEWMA:
+    def test_first_observation_taken_verbatim(self):
+        ewma = EWMA(alpha=0.5)
+        assert ewma.update(10.0) == 10.0
+
+    def test_converges_toward_constant_signal(self):
+        ewma = EWMA(alpha=0.3)
+        for _ in range(50):
+            ewma.update(7.0)
+        assert ewma.value == pytest.approx(7.0)
+
+    def test_smooths_steps(self):
+        ewma = EWMA(alpha=0.5)
+        ewma.update(0.0)
+        ewma.update(10.0)
+        assert ewma.value == pytest.approx(5.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EWMA(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMA(alpha=1.5)
+
+    def test_empty_value_zero(self):
+        assert EWMA().value == 0.0
+
+
+class TestRateEstimator:
+    def test_rate_over_window(self):
+        estimator = RateEstimator(window=2.0)
+        for t in (0.0, 0.5, 1.0, 1.5):
+            estimator.record(t)
+        assert estimator.rate(2.0) == pytest.approx(2.0)  # 4 events / 2 s
+
+    def test_old_events_expire(self):
+        estimator = RateEstimator(window=1.0)
+        estimator.record(0.0)
+        estimator.record(5.0)
+        assert estimator.rate(5.0) == pytest.approx(1.0)
+        assert len(estimator) == 1
+
+    def test_batch_record(self):
+        estimator = RateEstimator(window=1.0)
+        estimator.record(0.5, count=10)
+        assert estimator.rate(1.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateEstimator(window=0)
+        with pytest.raises(ValueError):
+            RateEstimator(capacity=0)
+
+
+class TestSummarize:
+    def test_summary_lists_every_box(self):
+        net = sample_network()
+        execute(net, {"src": make_stream([{"A": 1}, {"A": -2}, {"A": 3}])})
+        summary = summarize_network(net)
+        assert "f" in summary and "t" in summary
+        assert "Filter(A > 0)" in summary
+        assert "queued tuples across all arcs: 0" in summary
+
+
+class TestDot:
+    def test_dot_contains_all_elements(self):
+        dot = to_dot(sample_network())
+        assert dot.startswith('digraph "sample"')
+        assert '"in:src"' in dot
+        assert '"out:counts"' in dot
+        assert '"f" -> "t"' in dot
+        assert 'label="CP"' in dot  # the connection point is marked
+
+    def test_dot_clusters_by_placement(self):
+        dot = to_dot(sample_network(), placement={"f": "n1", "t": "n2"})
+        assert "subgraph" in dot
+        assert 'label="n1"' in dot
+        assert 'label="n2"' in dot
+
+    def test_dot_escapes_quotes(self):
+        net = QueryNetwork('with "quotes"')
+        dot = to_dot(net)
+        assert '\\"quotes\\"' in dot
+
+
+class TestDescribe:
+    def test_describe_structure(self):
+        text = describe(sample_network())
+        assert "in:src -> f" in text
+        assert "[CP]" in text
+        assert "-> out:counts" in text
+
+    def test_describe_multi_output_ports(self):
+        net = QueryNetwork()
+        net.add_box("f", Filter(lambda t: True, with_false_port=True))
+        net.connect("in:x", "f")
+        net.connect(("f", 0), "out:yes")
+        net.connect(("f", 1), "out:no")
+        text = describe(net)
+        assert "[0]out:yes" in text
+        assert "[1]out:no" in text

@@ -1,0 +1,115 @@
+"""Tests for the storage manager (buffer/spill accounting, Section 2.3)."""
+
+import pytest
+
+from repro.core.engine import AuroraEngine
+from repro.core.operators.map import Map
+from repro.core.query import QueryNetwork
+from repro.core.storage import StorageManager
+from repro.core.tuples import make_stream
+
+
+def queue_network(connection_point=False):
+    net = QueryNetwork()
+    net.add_box("m", Map(lambda v: v))
+    net.connect("in:src", "m", connection_point=connection_point)
+    net.connect("m", "out:sink")
+    return net
+
+
+def fill(net, n):
+    for tup in make_stream([{"A": i} for i in range(n)]):
+        for arc in net.inputs["src"]:
+            arc.push(tup)
+    return net
+
+
+class TestBudgetAccounting:
+    def test_no_spill_under_budget(self):
+        net = fill(queue_network(), 10)
+        storage = StorageManager(memory_budget=100)
+        assert storage.rebalance(net) == 0.0
+        assert storage.tuples_spilled == 0
+
+    def test_overflow_spills_excess(self):
+        net = fill(queue_network(), 150)
+        storage = StorageManager(memory_budget=100)
+        charged = storage.rebalance(net)
+        assert storage.tuples_spilled == 50
+        assert charged == pytest.approx(50 * storage.write_cost)
+        assert storage.total_in_memory(net) == 100
+
+    def test_unspill_when_headroom_returns(self):
+        net = fill(queue_network(), 150)
+        storage = StorageManager(memory_budget=100)
+        storage.rebalance(net)
+        # Drain 100 tuples from the arc.
+        arc = net.inputs["src"][0]
+        for _ in range(100):
+            storage.charge_consume(arc)
+            arc.queue.popleft()
+        storage.rebalance(net)
+        assert storage.total_in_memory(net) == len(arc.queue)
+
+    def test_connection_point_queues_spill_first(self):
+        net = QueryNetwork()
+        net.add_box("a", Map(lambda v: v))
+        net.add_box("b", Map(lambda v: v))
+        net.connect("in:x", "a", connection_point=True)
+        net.connect("in:y", "b")
+        net.connect("a", "out:oa")
+        net.connect("b", "out:ob")
+        for name in ("x", "y"):
+            for tup in make_stream([{"A": i} for i in range(50)]):
+                for arc in net.inputs[name]:
+                    arc.push(tup)
+        storage = StorageManager(memory_budget=60)
+        storage.rebalance(net)
+        cp_arc = net.inputs["x"][0]
+        plain_arc = net.inputs["y"][0]
+        assert storage.spilled_on(cp_arc) == 40
+        assert storage.spilled_on(plain_arc) == 0
+
+    def test_charge_consume_reads_back_spilled(self):
+        net = fill(queue_network(), 150)
+        storage = StorageManager(memory_budget=100)
+        storage.rebalance(net)
+        arc = net.inputs["src"][0]
+        # Consume down to the spilled region: reads are charged.
+        charged = 0.0
+        for _ in range(150):
+            charged += storage.charge_consume(arc)
+            arc.queue.popleft()
+        assert storage.tuples_unspilled == 50
+        assert charged == pytest.approx(50 * storage.read_cost)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            StorageManager(memory_budget=0)
+
+
+class TestEngineIntegration:
+    def test_spill_io_charged_to_engine_clock(self):
+        storage = StorageManager(memory_budget=50, write_cost=0.01, read_cost=0.01)
+        engine = AuroraEngine(
+            queue_network(), storage=storage, scheduling_overhead=0.0
+        )
+        engine.push_many("src", make_stream([{"A": i} for i in range(300)], spacing=0.0))
+        engine.run_until_idle()
+        assert storage.tuples_spilled > 0
+        assert storage.io_time > 0.0
+        # Everything still delivered despite the spills.
+        assert len(engine.outputs["sink"]) == 300
+
+    def test_small_budget_costs_more_time(self):
+        def run(budget):
+            storage = StorageManager(memory_budget=budget, write_cost=0.005,
+                                     read_cost=0.005)
+            engine = AuroraEngine(queue_network(), storage=storage,
+                                  scheduling_overhead=0.0)
+            engine.push_many("src",
+                             make_stream([{"A": i} for i in range(300)], spacing=0.0))
+            engine.run_until_idle()
+            return engine.clock
+
+        assert run(budget=20) > run(budget=10_000)

@@ -1,0 +1,107 @@
+"""Tests for XSection (overlapping windows) and Slide (sliding windows)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.operators.windows import Slide, XSection
+from repro.core.tuples import make_stream
+
+
+def run(box, rows, flush=False):
+    out = []
+    for t in make_stream(rows):
+        out.extend(e for _, e in box.process(t))
+    if flush:
+        out.extend(e for _, e in box.flush())
+    return out
+
+
+class TestXSection:
+    def test_tumbling_when_advance_equals_size(self):
+        box = XSection("sum", groupby=("A",), value_attr="B", size=2)
+        out = run(box, [{"A": 1, "B": v} for v in (1, 2, 3, 4)])
+        assert [t["result"] for t in out] == [3, 7]
+
+    def test_overlapping_windows(self):
+        box = XSection("sum", groupby=("A",), value_attr="B", size=3, advance=1)
+        out = run(box, [{"A": 1, "B": v} for v in (1, 2, 3, 4, 5)])
+        # Windows: [1,2,3], [2,3,4], [3,4,5]
+        assert [t["result"] for t in out] == [6, 9, 12]
+
+    def test_groups_are_independent(self):
+        box = XSection("cnt", groupby=("A",), value_attr="B", size=2)
+        out = run(box, [
+            {"A": 1, "B": 0},
+            {"A": 2, "B": 0},
+            {"A": 1, "B": 0},
+            {"A": 2, "B": 0},
+        ])
+        assert [t["A"] for t in out] == [1, 2]
+
+    def test_flush_emits_open_windows(self):
+        box = XSection("cnt", groupby=("A",), value_attr="B", size=10)
+        out = run(box, [{"A": 1, "B": 0}] * 3, flush=True)
+        assert [t["result"] for t in out] == [3]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            XSection("cnt", groupby=("A",), value_attr="B", size=0)
+        with pytest.raises(ValueError):
+            XSection("cnt", groupby=("A",), value_attr="B", size=2, advance=0)
+
+    def test_snapshot_restore(self):
+        box = XSection("sum", groupby=("A",), value_attr="B", size=2)
+        out1 = run(box, [{"A": 1, "B": 1}])
+        assert out1 == []
+        fresh = XSection("sum", groupby=("A",), value_attr="B", size=2)
+        fresh.restore(box.snapshot())
+        out2 = run(fresh, [{"A": 1, "B": 2}])
+        assert [t["result"] for t in out2] == [3]
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=40),
+           st.integers(1, 5))
+    def test_window_count_formula(self, values, size):
+        """Property: with advance=1, every tuple index >= size-1 closes one window."""
+        box = XSection("cnt", groupby=("A",), value_attr="B", size=size, advance=1)
+        out = run(box, [{"A": 0, "B": v} for v in values])
+        expected = max(0, len(values) - size + 1)
+        assert len(out) == expected
+        assert all(t["result"] == size for t in out)
+
+
+class TestSlide:
+    def test_one_output_per_input(self):
+        box = Slide("max", groupby=("A",), value_attr="B", size=2)
+        out = run(box, [{"A": 1, "B": v} for v in (3, 1, 5)])
+        assert [t["result"] for t in out] == [3, 3, 5]
+
+    def test_window_bounds_history(self):
+        box = Slide("sum", groupby=("A",), value_attr="B", size=2)
+        out = run(box, [{"A": 1, "B": v} for v in (1, 2, 3, 4)])
+        assert [t["result"] for t in out] == [1, 3, 5, 7]
+
+    def test_groups_independent(self):
+        box = Slide("sum", groupby=("A",), value_attr="B", size=10)
+        out = run(box, [{"A": 1, "B": 1}, {"A": 2, "B": 5}, {"A": 1, "B": 2}])
+        assert [t["result"] for t in out] == [1, 5, 3]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Slide("sum", groupby=("A",), value_attr="B", size=0)
+
+    def test_snapshot_restore(self):
+        box = Slide("sum", groupby=("A",), value_attr="B", size=3)
+        run(box, [{"A": 1, "B": 1}, {"A": 1, "B": 2}])
+        fresh = Slide("sum", groupby=("A",), value_attr="B", size=3)
+        fresh.restore(box.snapshot())
+        out = run(fresh, [{"A": 1, "B": 3}])
+        assert [t["result"] for t in out] == [6]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=40),
+           st.integers(1, 6))
+    def test_matches_naive_sliding_max(self, values, size):
+        box = Slide("max", groupby=("A",), value_attr="B", size=size)
+        out = run(box, [{"A": 0, "B": v} for v in values])
+        expected = [max(values[max(0, i - size + 1): i + 1]) for i in range(len(values))]
+        assert [t["result"] for t in out] == expected

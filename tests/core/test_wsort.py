@@ -1,0 +1,105 @@
+"""Tests for WSort: the time-bounded windowed sort."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.operators.wsort import WSort
+from repro.core.tuples import StreamTuple
+
+
+def feed(box, rows, spacing=1.0):
+    """Push rows through, returning all emitted tuples (incl. flush)."""
+    out = []
+    for i, row in enumerate(rows):
+        out.extend(t for _, t in box.process(StreamTuple(row, timestamp=i * spacing)))
+    out.extend(t for _, t in box.flush())
+    return out
+
+
+class TestWSortOrdering:
+    def test_flush_emits_fully_sorted(self):
+        box = WSort(["A"])
+        out = feed(box, [{"A": 3}, {"A": 1}, {"A": 2}])
+        assert [t["A"] for t in out] == [1, 2, 3]
+
+    def test_multi_attribute_sort(self):
+        box = WSort(["A", "B"])
+        out = feed(box, [{"A": 1, "B": 2}, {"A": 1, "B": 1}, {"A": 0, "B": 9}])
+        assert [(t["A"], t["B"]) for t in out] == [(0, 9), (1, 1), (1, 2)]
+
+    def test_stable_for_equal_keys(self):
+        box = WSort(["A"])
+        out = feed(box, [{"A": 1, "tag": "first"}, {"A": 1, "tag": "second"}])
+        assert [t["tag"] for t in out] == ["first", "second"]
+
+    @given(st.lists(st.integers(0, 100), max_size=40))
+    def test_infinite_timeout_is_a_full_sort(self, keys):
+        box = WSort(["A"])
+        out = feed(box, [{"A": k} for k in keys])
+        assert [t["A"] for t in out] == sorted(keys)
+        assert box.tuples_discarded == 0
+
+
+class TestWSortTimeout:
+    def test_timeout_forces_emission(self):
+        # Tuples arrive at t=0,1,2,... With timeout=2, the tuple buffered
+        # at t=0 must be emitted once the t=2 arrival is seen.
+        box = WSort(["A"], timeout=2.0)
+        emitted = []
+        for i, key in enumerate([5, 4, 3, 2]):
+            emitted.extend(box.process(StreamTuple({"A": key}, timestamp=float(i))))
+        assert emitted, "timeout should have forced at least one emission"
+
+    def test_late_tuple_discarded_and_counted(self):
+        # Paper footnote: WSort must discard tuples arriving after some
+        # tuple that follows them in sort order has been emitted.
+        box = WSort(["A"], timeout=1.0)
+        box.process(StreamTuple({"A": 10}, timestamp=0.0))
+        box.process(StreamTuple({"A": 11}, timestamp=5.0))  # forces A=10 out
+        result = box.process(StreamTuple({"A": 1}, timestamp=6.0))  # late
+        assert result == []
+        assert box.tuples_discarded == 1
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            WSort(["A"], timeout=0)
+
+    def test_rejects_empty_sort_attrs(self):
+        with pytest.raises(ValueError):
+            WSort([])
+
+
+class TestWSortState:
+    def test_snapshot_restore_roundtrip(self):
+        box = WSort(["A"])
+        box.process(StreamTuple({"A": 3}, timestamp=0.0))
+        box.process(StreamTuple({"A": 1}, timestamp=1.0))
+        state = box.snapshot()
+
+        fresh = WSort(["A"])
+        fresh.restore(state)
+        out = [t for _, t in fresh.flush()]
+        assert [t["A"] for t in out] == [1, 3]
+
+    def test_restore_none_resets(self):
+        box = WSort(["A"])
+        box.process(StreamTuple({"A": 3}, timestamp=0.0))
+        box.restore(None)
+        assert box.buffered == 0
+        assert box.flush() == []
+
+    def test_reset_clears_loss_counter(self):
+        box = WSort(["A"], timeout=1.0)
+        box.process(StreamTuple({"A": 10}, timestamp=0.0))
+        box.process(StreamTuple({"A": 11}, timestamp=5.0))
+        box.process(StreamTuple({"A": 1}, timestamp=6.0))
+        box.reset()
+        assert box.tuples_discarded == 0
+        assert box.buffered == 0
+
+    def test_buffered_counts(self):
+        box = WSort(["A"])
+        assert box.buffered == 0
+        box.process(StreamTuple({"A": 1}, timestamp=0.0))
+        assert box.buffered == 1

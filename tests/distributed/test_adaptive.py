@@ -1,0 +1,154 @@
+"""Tests for adaptive split predicates (Section 5.2's time-varying p)."""
+
+import random
+
+import pytest
+
+from repro.core.operators.tumble import Tumble
+from repro.core.query import QueryNetwork
+from repro.core.tuples import StreamTuple, make_stream
+from repro.distributed.adaptive import (
+    AdaptiveSplitPredicate,
+    observed_imbalance,
+    rebalance_split,
+)
+from repro.distributed.splitting import split_box_distributed
+from repro.distributed.system import AuroraStarSystem
+from repro.workloads.generators import zipf_weights
+
+
+class TestPredicate:
+    def test_fraction_moves_routing(self):
+        predicate = AdaptiveSplitPredicate(("A",), fraction=0.5)
+        sent_before = sum(
+            1 for i in range(1000) if predicate(StreamTuple({"A": i}))
+        )
+        predicate.set_fraction(0.9)
+        sent_after = sum(
+            1 for i in range(1000) if predicate(StreamTuple({"A": i}))
+        )
+        assert sent_after > sent_before
+
+    def test_group_stability_survives_adjustment(self):
+        predicate = AdaptiveSplitPredicate(("A",), fraction=0.3)
+        for a in range(30):
+            outcomes = {predicate(StreamTuple({"A": a, "B": b})) for b in range(5)}
+            assert len(outcomes) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSplitPredicate((), fraction=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveSplitPredicate(("A",), fraction=1.0)
+        predicate = AdaptiveSplitPredicate(("A",))
+        with pytest.raises(ValueError):
+            predicate.set_fraction(0.0)
+
+    def test_name_tracks_fraction(self):
+        predicate = AdaptiveSplitPredicate(("A",), fraction=0.25)
+        assert "0.25" in predicate.__name__
+
+
+class TestRebalance:
+    def build_split_system(self, fraction=0.5):
+        net = QueryNetwork()
+        net.add_box(
+            "t",
+            Tumble("sum", groupby=("A",), value_attr="B",
+                   mode="count", window_size=5),
+        )
+        net.connect("in:src", "t")
+        net.connect("t", "out:agg")
+        system = AuroraStarSystem(net)
+        system.add_node("m1")
+        system.add_node("m2")
+        system.deploy_all_on("m1")
+        predicate = AdaptiveSplitPredicate(("A",), fraction=fraction)
+        split = split_box_distributed(
+            system, "t", predicate, to_node="m2", group_stable=True,
+            predicate_name=predicate.__name__,
+        )
+        return system, split, predicate
+
+    def skewed_stream(self, n=400, seed=3):
+        rng = random.Random(seed)
+        weights = zipf_weights(16, 1.4)
+        groups = list(range(16))
+        return [
+            StreamTuple({"A": rng.choices(groups, weights=weights, k=1)[0], "B": 1},
+                        timestamp=i * 0.001)
+            for i in range(n)
+        ]
+
+    def drive(self, system, stream, start=0.0):
+        for i, tup in enumerate(stream):
+            system.sim.schedule_at(start + i * 0.001, system.push, "src", tup)
+        system.run()
+
+    def test_observed_imbalance_neutral_before_traffic(self):
+        system, split, _pred = self.build_split_system()
+        assert observed_imbalance(system, split) == 0.5
+
+    def test_adjustment_reduces_skew(self):
+        system, split, predicate = self.build_split_system()
+        stream = self.skewed_stream()
+        self.drive(system, stream)
+        first_balance = observed_imbalance(system, split)
+        skew_before = abs(first_balance - 0.5)
+        # A few control iterations: adjust, observe fresh traffic, repeat.
+        for round_index in range(4):
+            rebalance_split(system, split, predicate, gain=0.6)
+            self.drive(system, self.skewed_stream(seed=10 + round_index),
+                       start=system.sim.now + 0.01)
+        skew_after = abs(observed_imbalance(system, split) - 0.5)
+        assert skew_after <= skew_before + 0.02
+
+    def test_rebalance_resets_counters(self):
+        system, split, predicate = self.build_split_system()
+        self.drive(system, self.skewed_stream())
+        rebalance_split(system, split, predicate)
+        assert system.network.boxes["t"].tuples_in == 0
+        assert system.network.boxes["t__copy"].tuples_in == 0
+
+    def test_fraction_clamped(self):
+        system, split, predicate = self.build_split_system(fraction=0.1)
+        # Force repeated downward pressure.
+        system.network.boxes["t"].tuples_in = 1000
+        system.network.boxes["t__copy"].tuples_in = 0
+        for _ in range(10):
+            rebalance_split(system, split, predicate, gain=1.0)
+            system.network.boxes["t"].tuples_in = 1000
+        assert predicate.fraction >= 0.05
+
+    def test_target_validation(self):
+        system, split, predicate = self.build_split_system()
+        with pytest.raises(ValueError):
+            rebalance_split(system, split, predicate, target=1.5)
+
+    def test_results_remain_correct_across_adjustments(self):
+        from repro.core.query import execute
+
+        def reference_net():
+            net = QueryNetwork()
+            net.add_box("t", Tumble("sum", groupby=("A",), value_attr="B",
+                                    mode="count", window_size=5))
+            net.connect("in:src", "t")
+            net.connect("t", "out:agg")
+            return net
+
+        stream = self.skewed_stream(n=300)
+        reference = execute(reference_net(), {"src": list(stream)})
+
+        system, split, predicate = self.build_split_system()
+        self.drive(system, stream[:150])
+        rebalance_split(system, split, predicate, gain=0.4)
+        self.drive(system, stream[150:], start=system.sim.now + 0.01)
+        system.flush()
+
+        def totals(tuples):
+            acc = {}
+            for t in tuples:
+                acc[t["A"]] = acc.get(t["A"], 0) + t["result"]
+            return acc
+
+        assert totals(system.outputs["agg"]) == totals(reference["agg"])

@@ -1,0 +1,72 @@
+"""Tests: placement changes propagate to the intra-participant catalog."""
+
+from repro.core.operators.filter import Filter
+from repro.core.operators.map import Map
+from repro.core.operators.tumble import Tumble
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.distributed.sliding import slide_box
+from repro.distributed.splitting import split_box_distributed
+from repro.distributed.system import AuroraStarSystem
+
+
+def build_system():
+    net = QueryNetwork("monitor")
+    net.add_box("f", Filter(lambda t: t["A"] > 0))
+    net.add_box("m", Map(lambda v: v))
+    net.connect("in:src", "f")
+    net.connect("f", "m")
+    net.connect("m", "out:sink")
+    system = AuroraStarSystem(net)
+    system.add_node("n1")
+    system.add_node("n2")
+    return system
+
+
+class TestCatalogPropagation:
+    def test_deploy_registers_query_pieces(self):
+        system = build_system()
+        system.deploy({"f": "n1", "m": "n2"})
+        pieces = system.catalog.query_pieces("monitor")
+        assert pieces == {"f": "n1", "m": "n2"}
+
+    def test_query_definition_registered(self):
+        system = build_system()
+        assert system.catalog.definition("query", "monitor") is system.network
+
+    def test_slide_updates_catalog(self):
+        system = build_system()
+        system.deploy_all_on("n1")
+        slide_box(system, "m", "n2")
+        system.run()
+        assert system.catalog.query_pieces("monitor")["m"] == "n2"
+
+    def test_split_registers_new_pieces(self):
+        net = QueryNetwork("agg-query")
+        net.add_box("t", Tumble("sum", groupby=("A",), value_attr="B"))
+        net.connect("in:src", "t")
+        net.connect("t", "out:agg")
+        system = AuroraStarSystem(net)
+        system.add_node("n1")
+        system.add_node("n2")
+        system.deploy_all_on("n1")
+        split_box_distributed(system, "t", lambda t: t["B"] < 3, to_node="n2")
+        pieces = system.catalog.query_pieces("agg-query")
+        assert pieces["t__copy"] == "n2"
+        assert pieces["t__router"] == "n1"
+        assert "t__merge_combine" in pieces
+
+    def test_node_pieces_view(self):
+        system = build_system()
+        system.deploy({"f": "n1", "m": "n2"})
+        assert system.catalog.node_pieces("n1") == [("monitor", "f")]
+        assert system.catalog.node_pieces("n2") == [("monitor", "m")]
+
+    def test_catalog_consistent_after_run(self):
+        system = build_system()
+        system.deploy_all_on("n1")
+        system.schedule_source("src", make_stream([{"A": 1}] * 5, spacing=0.001))
+        system.sim.schedule(0.002, slide_box, system, "f", "n2")
+        system.run()
+        pieces = system.catalog.query_pieces("monitor")
+        assert pieces == system.placement

@@ -1,0 +1,142 @@
+"""Tests for the decentralized load-share daemon (Section 5.1)."""
+
+from repro.core.operators.map import Map
+from repro.core.operators.tumble import Tumble
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.distributed.daemon import LoadShareDaemon, start_daemons
+from repro.distributed.policy import Thresholds
+from repro.distributed.system import AuroraStarSystem
+
+
+def overloadable_system(n_pipelines=4, cost=0.004):
+    """Several independent pipelines, all initially on one node."""
+    net = QueryNetwork()
+    for i in range(n_pipelines):
+        net.add_box(f"m{i}", Map(lambda v: v, cost_per_tuple=cost))
+        net.connect(f"in:src{i}", f"m{i}")
+        net.connect(f"m{i}", f"out:sink{i}")
+    system = AuroraStarSystem(net)
+    system.add_node("n1")
+    system.add_node("n2")
+    system.deploy_all_on("n1")
+    return system
+
+
+def drive(system, rate_per_stream=100, duration=2.0, n_pipelines=4):
+    spacing = 1.0 / rate_per_stream
+    count = int(duration / spacing)
+    for i in range(n_pipelines):
+        system.schedule_source(
+            f"src{i}",
+            make_stream([{"A": j} for j in range(count)], spacing=spacing),
+        )
+
+
+class TestDaemonMechanics:
+    def test_probe_reply_cycle_populates_neighbor_loads(self):
+        system = overloadable_system()
+        daemon = LoadShareDaemon(system, "n1", period=0.1)
+        LoadShareDaemon(system, "n2", period=0.1)  # answers probes
+        daemon.start()
+        system.run(until=0.5)
+        assert "n2" in daemon._neighbor_load
+
+    def test_control_messages_counted(self):
+        system = overloadable_system()
+        start_daemons(system, period=0.1)
+        system.run(until=1.0)
+        assert system.control_messages > 0
+
+    def test_idle_system_never_moves_boxes(self):
+        system = overloadable_system()
+        daemons = start_daemons(system, period=0.1)
+        system.run(until=2.0)
+        assert all(not d.moves for d in daemons.values())
+
+    def test_ticks_continue(self):
+        system = overloadable_system()
+        daemon = LoadShareDaemon(system, "n1", period=0.1)
+        daemon.start()
+        system.run(until=1.05)
+        assert daemon.ticks >= 9
+
+
+class TestLoadSharing:
+    def test_overload_triggers_slide_to_idle_neighbor(self):
+        system = overloadable_system(n_pipelines=4, cost=0.004)
+        daemons = start_daemons(
+            system,
+            period=0.2,
+            thresholds=Thresholds(high_water=0.8, low_water=0.5, cooldown=0.2),
+            allow_split=False,
+        )
+        drive(system, rate_per_stream=120, duration=3.0)
+        system.run(until=5.0)
+        moves = daemons["n1"].moves
+        assert moves, "the overloaded node should have offloaded at least one box"
+        assert all(kind == "slide" for _t, kind, _b, dest in moves)
+        assert {dest for _t, _k, _b, dest in moves} == {"n2"}
+        # Work actually lands on both nodes afterwards.
+        assert system.boxes_on("n2")
+
+    def test_sharing_improves_latency_vs_static(self):
+        def run(with_daemons):
+            system = overloadable_system(n_pipelines=4, cost=0.004)
+            if with_daemons:
+                start_daemons(
+                    system,
+                    period=0.2,
+                    thresholds=Thresholds(high_water=0.8, low_water=0.5, cooldown=0.2),
+                    allow_split=False,
+                )
+            drive(system, rate_per_stream=120, duration=3.0)
+            system.run(until=6.0)
+            latencies = [
+                lat
+                for name in system.output_latencies
+                for lat in system.output_latencies[name]
+            ]
+            return sum(latencies) / len(latencies)
+
+        static = run(with_daemons=False)
+        shared = run(with_daemons=True)
+        assert shared < static
+
+    def test_single_hot_box_gets_split(self):
+        net = QueryNetwork()
+        net.add_box(
+            "t", Tumble("sum", groupby=("A",), value_attr="B", cost_per_tuple=0.01)
+        )
+        net.connect("in:src", "t")
+        net.connect("t", "out:agg")
+        system = AuroraStarSystem(net)
+        system.add_node("n1")
+        system.add_node("n2")
+        system.deploy_all_on("n1")
+        daemons = start_daemons(
+            system,
+            period=0.2,
+            thresholds=Thresholds(high_water=0.8, low_water=0.5, cooldown=0.2),
+        )
+        stream = make_stream(
+            [{"A": i % 8, "B": i} for i in range(600)], spacing=0.005
+        )
+        system.schedule_source("src", stream)
+        system.run(until=6.0)
+        kinds = {kind for _t, kind, _b, _d in daemons["n1"].moves}
+        assert "split" in kinds
+        assert system.place("t__copy") == "n2"
+
+    def test_failed_neighbor_not_chosen(self):
+        system = overloadable_system()
+        daemons = start_daemons(
+            system,
+            period=0.2,
+            thresholds=Thresholds(high_water=0.5, low_water=0.5, cooldown=0.0),
+            allow_split=False,
+        )
+        system.nodes["n2"].fail()
+        drive(system, rate_per_stream=150, duration=2.0)
+        system.run(until=4.0)
+        assert all(dest != "n2" for _t, _k, _b, dest in daemons["n1"].moves)

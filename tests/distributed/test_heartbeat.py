@@ -1,0 +1,126 @@
+"""Tests for overlay heartbeat failure detection (Section 6.3)."""
+
+import pytest
+
+from repro.core.operators.map import Map
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.distributed.heartbeat import HeartbeatMonitor
+from repro.distributed.sliding import slide_box
+from repro.distributed.system import AuroraStarSystem
+
+
+def chain_system():
+    """a -> b -> c across three nodes: n1 watches n2 watches n3."""
+    net = QueryNetwork()
+    for box in ("a", "b", "c"):
+        net.add_box(box, Map(lambda v: v))
+    net.connect("in:src", "a")
+    net.connect("a", "b")
+    net.connect("b", "c")
+    net.connect("c", "out:sink")
+    system = AuroraStarSystem(net)
+    for n in ("n1", "n2", "n3"):
+        system.add_node(n)
+    system.deploy({"a": "n1", "b": "n2", "c": "n3"})
+    return system
+
+
+class TestWatchRelation:
+    def test_upstream_watches_downstream(self):
+        system = chain_system()
+        monitor = HeartbeatMonitor(system)
+        assert monitor.watch_pairs() == [("n1", "n2"), ("n2", "n3")]
+
+    def test_colocated_boxes_not_watched(self):
+        system = chain_system()
+        system.deploy({"a": "n1", "b": "n1", "c": "n2"})
+        monitor = HeartbeatMonitor(system)
+        assert monitor.watch_pairs() == [("n1", "n2")]
+
+    def test_watch_relation_follows_slides(self):
+        system = chain_system()
+        monitor = HeartbeatMonitor(system)
+        slide_box(system, "b", "n1")
+        system.run()
+        assert monitor.watch_pairs() == [("n1", "n3")]
+
+    def test_parameter_validation(self):
+        system = chain_system()
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(system, interval=0)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(system, miss_threshold=0)
+
+
+class TestDetection:
+    def test_healthy_system_no_detections(self):
+        system = chain_system()
+        monitor = HeartbeatMonitor(system, interval=0.1)
+        monitor.start()
+        system.run(until=2.0)
+        assert monitor.detections == []
+        assert monitor.heartbeats_sent > 10
+
+    def test_failure_detected_within_threshold(self):
+        system = chain_system()
+        monitor = HeartbeatMonitor(system, interval=0.1, miss_threshold=3)
+        monitor.start()
+        fail_time = 1.0
+        system.sim.schedule_at(fail_time, system.nodes["n2"].fail)
+        system.run(until=3.0)
+        assert ("n2" in monitor.declared_failed())
+        latency = monitor.detection_latency(fail_time, "n2")
+        assert latency is not None
+        # Detection within (miss_threshold + 2) intervals of the crash.
+        assert latency <= 0.1 * 5
+
+    def test_detecting_watcher_is_the_upstream(self):
+        system = chain_system()
+        monitor = HeartbeatMonitor(system, interval=0.1)
+        monitor.start()
+        system.sim.schedule_at(0.5, system.nodes["n3"].fail)
+        system.run(until=2.0)
+        [(when, watcher, watched)] = monitor.detections
+        assert (watcher, watched) == ("n2", "n3")
+        assert when > 0.5
+
+    def test_callback_fired_once(self):
+        system = chain_system()
+        monitor = HeartbeatMonitor(system, interval=0.1)
+        calls = []
+        monitor.on_detection(lambda w, f, t: calls.append((w, f)))
+        monitor.start()
+        system.sim.schedule_at(0.5, system.nodes["n2"].fail)
+        system.run(until=3.0)
+        assert calls == [("n1", "n2")]
+
+    def test_recovered_node_cleared(self):
+        system = chain_system()
+        monitor = HeartbeatMonitor(system, interval=0.1, miss_threshold=2)
+        monitor.start()
+        system.sim.schedule_at(0.5, system.nodes["n2"].fail)
+        system.sim.schedule_at(1.5, system.nodes["n2"].recover)
+        system.run(until=3.0)
+        assert "n2" not in monitor.declared_failed()
+
+    def test_detection_latency_scales_with_interval(self):
+        latencies = {}
+        for interval in (0.05, 0.4):
+            system = chain_system()
+            monitor = HeartbeatMonitor(system, interval=interval, miss_threshold=3)
+            monitor.start()
+            system.sim.schedule_at(1.0, system.nodes["n2"].fail)
+            system.run(until=1.0 + interval * 10)
+            latencies[interval] = monitor.detection_latency(1.0, "n2")
+        assert latencies[0.05] < latencies[0.4]
+
+    def test_traffic_does_not_disturb_detection(self):
+        system = chain_system()
+        monitor = HeartbeatMonitor(system, interval=0.1)
+        monitor.start()
+        system.schedule_source("src", make_stream([{"A": i} for i in range(100)],
+                                                  spacing=0.01))
+        system.sim.schedule_at(0.6, system.nodes["n3"].fail)
+        system.run(until=2.5)
+        assert "n3" in monitor.declared_failed()

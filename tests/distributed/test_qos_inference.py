@@ -1,0 +1,114 @@
+"""Tests for QoS inference at internal nodes (Section 7.1, Figure 9)."""
+
+import pytest
+
+from repro.core.engine import AuroraEngine
+from repro.core.operators.map import Map
+from repro.core.qos import QoSSpec, latency_qos
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.distributed.qos_inference import QoSInference
+
+
+def chain(costs):
+    net = QueryNetwork()
+    previous = "in:src"
+    for i, cost in enumerate(costs):
+        net.add_box(f"b{i}", Map(lambda v: v, cost_per_tuple=cost))
+        net.connect(previous, f"b{i}")
+        previous = f"b{i}"
+    net.connect(previous, "out:sink")
+    return net
+
+
+class TestInferenceRule:
+    def test_configured_costs_shift_the_graph(self):
+        net = chain([0.1, 0.2, 0.3])
+        spec = QoSSpec(latency=latency_qos(1.0, 2.0))
+        inference = QoSInference(net, {"sink": spec}, use_measured=False)
+        # At the last box's input, the spec is shifted by its own T_B.
+        assert inference.spec_at("b2", "sink").latency(0.7) == pytest.approx(
+            spec.latency(1.0)
+        )
+        # At the first box's input, by the sum of all downstream T_B.
+        assert inference.downstream_time["b0"]["sink"] == pytest.approx(0.6)
+        assert inference.spec_at("b0", "sink").latency(0.4) == pytest.approx(
+            spec.latency(1.0)
+        )
+
+    def test_q_i_equals_q_o_shifted(self):
+        # The literal Section 7.1 rule: Q_i(t) = Q_o(t + T_B).
+        net = chain([0.5])
+        spec = QoSSpec(latency=latency_qos(1.0, 3.0))
+        inference = QoSInference(net, {"sink": spec}, use_measured=False)
+        q_i = inference.spec_at("b0", "sink").latency
+        for t in (0.0, 0.5, 1.0, 2.0, 2.5):
+            assert q_i(t) == pytest.approx(spec.latency(t + 0.5))
+
+    def test_measured_times_preferred_when_available(self):
+        net = chain([0.01, 0.01])
+        engine = AuroraEngine(net, scheduling_overhead=0.0)
+        engine.push_many("src", make_stream([{"A": 1}] * 20, spacing=0.0))
+        engine.run_until_idle()
+        spec = QoSSpec(latency=latency_qos(1.0, 2.0))
+        inference = QoSInference(net, {"sink": spec}, use_measured=True)
+        measured_t = net.boxes["b1"].average_time
+        assert measured_t > 0
+        assert inference.downstream_time["b1"]["sink"] == pytest.approx(measured_t)
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(KeyError):
+            QoSInference(chain([0.1]), {"ghost": QoSSpec()})
+
+
+class TestBranchingNetworks:
+    def test_figure_9_two_internal_nodes(self):
+        """Figure 9: results computed via S1 and S2 feed S3; the output
+        spec at S3 is pushed inside to both internal nodes."""
+        net = QueryNetwork()
+        net.add_box("s1", Map(lambda v: v, cost_per_tuple=0.1))
+        net.add_box("s2", Map(lambda v: v, cost_per_tuple=0.2))
+        net.add_box("s3", Map(lambda v: v, cost_per_tuple=0.3))
+        net.connect("in:a", "s1")
+        net.connect("s1", "s2")
+        net.connect("s2", "s3")
+        net.connect("s3", "out:result")
+        spec = QoSSpec(latency=latency_qos(2.0, 4.0))
+        inference = QoSInference(net, {"result": spec}, use_measured=False)
+        assert inference.downstream_time["s3"]["result"] == pytest.approx(0.3)
+        assert inference.downstream_time["s2"]["result"] == pytest.approx(0.5)
+        assert inference.downstream_time["s1"]["result"] == pytest.approx(0.6)
+
+    def test_box_feeding_two_outputs_gets_both_specs(self):
+        net = QueryNetwork()
+        net.add_box("shared", Map(lambda v: v, cost_per_tuple=0.1))
+        net.add_box("fast", Map(lambda v: v, cost_per_tuple=0.1))
+        net.add_box("slow", Map(lambda v: v, cost_per_tuple=1.0))
+        net.connect("in:src", "shared")
+        net.connect("shared", "fast")
+        net.connect("shared", "slow")
+        net.connect("fast", "out:fast_out")
+        net.connect("slow", "out:slow_out")
+        specs = {
+            "fast_out": QoSSpec(latency=latency_qos(0.5, 1.0)),
+            "slow_out": QoSSpec(latency=latency_qos(5.0, 10.0)),
+        }
+        inference = QoSInference(net, specs, use_measured=False)
+        assert set(inference.box_input_specs["shared"]) == {"fast_out", "slow_out"}
+        assert inference.downstream_time["shared"]["fast_out"] == pytest.approx(0.2)
+        assert inference.downstream_time["shared"]["slow_out"] == pytest.approx(1.1)
+
+    def test_latency_budget(self):
+        net = chain([0.5])
+        spec = QoSSpec(latency=latency_qos(2.0, 4.0))
+        inference = QoSInference(net, {"sink": spec}, use_measured=False)
+        # At the box input the graph is shifted left by 0.5: flat until
+        # 1.5, zero at 3.5; the 0.5-utility point is at 2.5.
+        budget = inference.latency_budget("b0", "sink", utility_floor=0.5)
+        assert budget == pytest.approx(2.5)
+
+    def test_spec_at_unknown_output(self):
+        net = chain([0.1])
+        inference = QoSInference(net, {"sink": QoSSpec()}, use_measured=False)
+        with pytest.raises(KeyError):
+            inference.spec_at("b0", "ghost")

@@ -1,0 +1,217 @@
+"""Tests for the k-safety server chain: lineage, logs, dedup, pump."""
+
+import pytest
+
+from repro.ha.chain import (
+    HAServer,
+    HATuple,
+    ServerChain,
+    SourceNode,
+    StatelessOp,
+    WindowOp,
+    latest_lineage,
+    merge_lineage,
+)
+
+
+def identity_op():
+    return StatelessOp(lambda v: v)
+
+
+def make_chain(k=1, ops_s1=None, ops_s2=None):
+    """src -> s1 -> s2 (terminal)."""
+    chain = ServerChain(k=k)
+    chain.add_source("src")
+    chain.add_server("s1", ops_s1 if ops_s1 is not None else [identity_op()])
+    chain.add_server("s2", ops_s2 if ops_s2 is not None else [identity_op()])
+    chain.connect("src", "s1")
+    chain.connect("s1", "s2")
+    return chain
+
+
+class TestLineage:
+    def test_merge_keeps_minimum(self):
+        assert merge_lineage({"a": 5}, {"a": 3, "b": 7}) == {"a": 3, "b": 7}
+
+    def test_latest_keeps_maximum(self):
+        assert latest_lineage({"a": 5}, {"a": 3, "b": 7}) == {"a": 5, "b": 7}
+
+    def test_window_output_merges_lineage(self):
+        op = WindowOp(2, sum)
+        assert op.process(HATuple(1, {"src": 0})) == []
+        [out] = op.process(HATuple(2, {"src": 1}))
+        assert out.value == 3
+        assert out.lineage == {"src": 0}
+
+    def test_window_state_lineage(self):
+        op = WindowOp(3, sum)
+        op.process(HATuple(1, {"src": 4}))
+        op.process(HATuple(1, {"src": 5}))
+        assert op.state_lineage() == {"src": 4}
+
+    def test_stateless_op_drops_none(self):
+        op = StatelessOp(lambda v: v if v > 0 else None)
+        assert op.process(HATuple(-1, {"src": 0})) == []
+        assert len(op.process(HATuple(1, {"src": 1}))) == 1
+
+
+class TestServer:
+    def test_outputs_logged_with_sequence_numbers(self):
+        server = HAServer("s", [identity_op()])
+        out1 = server.ingest(HATuple(10, {"src": 0}), sender="src")
+        out2 = server.ingest(HATuple(11, {"src": 1}), sender="src")
+        assert out1[0].lineage["s"] == 0
+        assert out2[0].lineage["s"] == 1
+        assert server.log_size() == 2
+
+    def test_duplicate_by_seq_dropped(self):
+        server = HAServer("s", [identity_op()])
+        tup = HATuple(10, {"src": 0})
+        server.ingest(tup, sender="src")
+        assert server.ingest(tup, sender="src") == []
+        assert server.duplicates_dropped == 1
+
+    def test_duplicate_by_content_dropped_after_renumbering(self):
+        # Same logical tuple re-sent with a *higher* upstream seq (as a
+        # recovered upstream would) is still recognized by content.
+        server = HAServer("s", [identity_op()])
+        server.ingest(HATuple(10, {"src": 0, "up": 0}), sender="up")
+        dup = HATuple(10, {"src": 0, "up": 5})
+        assert server.ingest(dup, sender="up") == []
+        assert server.duplicates_dropped == 1
+
+    def test_dependency_floor_stateless(self):
+        server = HAServer("s", [identity_op()])
+        server.ingest(HATuple(1, {"src": 4}), sender="src")
+        # Fully absorbed: floor is one past the last processed seq.
+        assert server.dependency_floor() == {"src": 5}
+
+    def test_dependency_floor_with_open_window(self):
+        server = HAServer("s", [WindowOp(3, sum)])
+        server.ingest(HATuple(1, {"src": 0}), sender="src")
+        server.ingest(HATuple(1, {"src": 1}), sender="src")
+        assert server.dependency_floor() == {"src": 0}
+
+    def test_truncate(self):
+        server = HAServer("s", [identity_op()])
+        for i in range(5):
+            server.ingest(HATuple(i, {"src": i}), sender="src")
+        assert server.truncate(3) == 3
+        assert server.log_size() == 2
+        assert server.tuples_truncated == 3
+
+    def test_failed_server_ignores_input(self):
+        server = HAServer("s", [identity_op()])
+        server.fail()
+        assert server.ingest(HATuple(1, {"src": 0}), sender="src") == []
+
+    def test_rebuild_resets_and_renumbers(self):
+        server = HAServer("s", [WindowOp(2, sum)])
+        server.ingest(HATuple(1, {"src": 0}), sender="src")
+        server.fail()
+        server.rebuild(next_seq=7)
+        assert not server.failed
+        assert server.next_seq == 7
+        assert server.log_size() == 0
+        assert server.dependency_floor() == {}
+
+
+class TestSource:
+    def test_source_assigns_and_retains(self):
+        src = SourceNode("src")
+        t0 = src.produce("a")
+        t1 = src.produce("b")
+        assert t0.lineage == {"src": 0}
+        assert t1.lineage == {"src": 1}
+        assert src.log_size() == 2
+
+
+class TestChainTopology:
+    def test_duplicate_node_rejected(self):
+        chain = ServerChain()
+        chain.add_source("x")
+        with pytest.raises(ValueError):
+            chain.add_server("x")
+
+    def test_connect_validations(self):
+        chain = ServerChain()
+        chain.add_source("src")
+        with pytest.raises(KeyError):
+            chain.connect("src", "ghost")
+        chain.add_server("s1")
+        chain.connect("src", "s1")
+        with pytest.raises(ValueError):
+            chain.connect("src", "s1")
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ServerChain(k=-1)
+
+    def test_distance(self):
+        chain = make_chain()
+        assert chain.distance("src", "s1") == 1
+        assert chain.distance("src", "s2") == 2
+        assert chain.distance("s2", "s1") is None
+        assert chain.distance("s1", "s1") == 0
+
+    def test_terminal_detection(self):
+        chain = make_chain()
+        assert chain.is_terminal("s2")
+        assert not chain.is_terminal("s1")
+
+
+class TestDataPlane:
+    def test_end_to_end_delivery(self):
+        chain = make_chain()
+        for i in range(5):
+            chain.push("src", i)
+        chain.pump()
+        assert [t.value for t in chain.delivered["s2"]] == list(range(5))
+        assert chain.delivered_seqs("s2") == set(range(5))
+
+    def test_message_counting(self):
+        chain = make_chain()
+        chain.push("src", 1)
+        chain.pump()
+        # src->s1 and s1->s2: two data messages for one tuple.
+        assert chain.data_messages == 2
+
+    def test_logs_grow_without_truncation(self):
+        chain = make_chain()
+        for i in range(10):
+            chain.push("src", i)
+        chain.pump()
+        assert chain.sources["src"].log_size() == 10
+        assert chain.servers["s1"].log_size() == 10
+
+    def test_drop_in_flight(self):
+        chain = make_chain()
+        chain.push("src", 1)  # in flight to s1, not yet pumped
+        assert chain.drop_in_flight("s1") == 1
+        chain.pump()
+        assert chain.delivered.get("s2") is None
+
+    def test_heartbeats(self):
+        chain = make_chain()
+        assert chain.heartbeat_round() == []
+        assert chain.heartbeats_sent == 2
+        chain.servers["s2"].fail()
+        detections = chain.heartbeat_round()
+        assert detections == [("s1", "s2")]
+
+    def test_fanout_and_merge(self):
+        # src -> a -> (b, c) -> d : diamond.
+        chain = ServerChain()
+        chain.add_source("src")
+        for name in ("a", "b", "c", "d"):
+            chain.add_server(name, [identity_op()])
+        chain.connect("src", "a")
+        chain.connect("a", "b")
+        chain.connect("a", "c")
+        chain.connect("b", "d")
+        chain.connect("c", "d")
+        chain.push("src", 7)
+        chain.pump()
+        # d receives one copy from each branch; both are distinct
+        # logical tuples (different sender lineage), so both deliver.
+        assert len(chain.delivered["d"]) == 2

@@ -1,0 +1,179 @@
+"""Tests for flow-message truncation and the sequence-number-array alternative."""
+
+import pytest
+
+from repro.ha.chain import ServerChain, StatelessOp, WindowOp
+from repro.ha.flow import FlowProtocol, SequenceNumberArray
+
+
+def identity_op():
+    return StatelessOp(lambda v: v)
+
+
+def linear_chain(k=1, n_servers=3, window=None):
+    """src -> s1 -> ... -> sN; optional window op at the last server."""
+    chain = ServerChain(k=k)
+    chain.add_source("src")
+    previous = "src"
+    for i in range(1, n_servers + 1):
+        ops = [identity_op()]
+        if window and i == n_servers:
+            ops = [WindowOp(window, sum)]
+        chain.add_server(f"s{i}", ops)
+        chain.connect(previous, f"s{i}")
+        previous = f"s{i}"
+    return chain
+
+
+class TestFlowTruncation:
+    def test_round_truncates_absorbed_tuples(self):
+        chain = linear_chain(k=1)
+        protocol = FlowProtocol(chain)
+        for i in range(10):
+            chain.push("src", i)
+        chain.pump()
+        assert chain.sources["src"].log_size() == 10
+        protocol.round()
+        # Everything absorbed by stateless servers: logs truncate fully.
+        assert chain.sources["src"].log_size() == 0
+        assert chain.servers["s1"].log_size() == 0
+
+    def test_open_window_blocks_truncation(self):
+        chain = linear_chain(k=1, window=4)
+        protocol = FlowProtocol(chain)
+        for i in range(6):  # one window (4) closed, 2 tuples open
+            chain.push("src", i)
+        chain.pump()
+        protocol.round()
+        # The window holder is s3; its upstream backup s2 keeps the open
+        # window's two inputs.  s1 (backing the stateless s2) truncates.
+        assert chain.servers["s2"].log_size() == 2
+        assert chain.servers["s1"].log_size() == 0
+
+    def test_k2_retains_two_boundaries_deep(self):
+        shallow = linear_chain(k=1, n_servers=3)
+        deep = linear_chain(k=2, n_servers=3)
+        for chain in (shallow, deep):
+            protocol = FlowProtocol(chain)
+            for i in range(10):
+                chain.push("src", i)
+            chain.pump()
+            protocol.round()
+        # With k=2 the source's log still truncates (records reach the
+        # output), but both runs end with monotone log behaviour; the
+        # deep run must never retain *less* than the shallow one.
+        assert deep.total_log_size() >= shallow.total_log_size()
+
+    def test_flow_and_ack_messages_counted(self):
+        chain = linear_chain(k=1)
+        protocol = FlowProtocol(chain)
+        chain.push("src", 1)
+        chain.pump()
+        protocol.round()
+        assert chain.flow_messages == 3  # one per edge
+        assert chain.ack_messages > 0
+
+    def test_rounds_are_idempotent_when_no_new_data(self):
+        chain = linear_chain(k=1)
+        protocol = FlowProtocol(chain)
+        for i in range(5):
+            chain.push("src", i)
+        chain.pump()
+        protocol.round()
+        size_after_first = chain.total_log_size()
+        protocol.round()
+        assert chain.total_log_size() == size_after_first
+
+    def test_truncation_floor_reported(self):
+        chain = linear_chain(k=1)
+        protocol = FlowProtocol(chain)
+        for i in range(5):
+            chain.push("src", i)
+        chain.pump()
+        floors = protocol.round()
+        assert floors.get("src") == 5  # everything below seq 5 discarded
+
+    def test_diamond_topology_merges_flow_messages(self):
+        chain = ServerChain(k=1)
+        chain.add_source("src")
+        for name in ("a", "b", "c", "d"):
+            chain.add_server(name, [identity_op()])
+        chain.connect("src", "a")
+        chain.connect("a", "b")
+        chain.connect("a", "c")
+        chain.connect("b", "d")
+        chain.connect("c", "d")
+        protocol = FlowProtocol(chain)
+        for i in range(4):
+            chain.push("src", i)
+        chain.pump()
+        floors = protocol.round()
+        assert floors  # acks flowed despite the merge
+        assert chain.sources["src"].log_size() == 0
+
+    def test_failed_server_swallows_flow_messages(self):
+        chain = linear_chain(k=1)
+        protocol = FlowProtocol(chain)
+        for i in range(5):
+            chain.push("src", i)
+        chain.pump()
+        chain.servers["s2"].fail()
+        protocol.round()
+        # The flow message dies at s2: downstream records never form,
+        # and upstream logs cannot be truncated past s1's records.
+        assert chain.sources["src"].log_size() == 0 or chain.servers["s1"].log_size() > 0
+
+
+class TestSequenceNumberArray:
+    def test_poll_truncates_like_flow_messages(self):
+        chain = linear_chain(k=1)
+        arrays = SequenceNumberArray(chain)
+        for i in range(8):
+            chain.push("src", i)
+        chain.pump()
+        results = arrays.poll_all()
+        assert results.get("src") == 8
+        assert chain.sources["src"].log_size() == 0
+        assert arrays.poll_messages > 0
+
+    def test_poll_respects_open_windows(self):
+        # The window lives at s3, so its *backup* s2 must keep the open
+        # window's inputs; s1 (watching only the stateless s2 at k=1)
+        # may truncate fully.
+        chain = linear_chain(k=1, window=4)
+        arrays = SequenceNumberArray(chain)
+        for i in range(6):
+            chain.push("src", i)
+        chain.pump()
+        arrays.poll_all()
+        assert chain.servers["s2"].log_size() == 2
+        assert chain.servers["s1"].log_size() == 0
+
+    def test_poll_during_failure_keeps_everything(self):
+        chain = linear_chain(k=1)
+        arrays = SequenceNumberArray(chain)
+        for i in range(5):
+            chain.push("src", i)
+        chain.pump()
+        chain.servers["s2"].fail()
+        # src's watch server is s1 (k=1): still fine.  s1's watch is the
+        # failed s2: poll returns None and keeps the log.
+        assert arrays.poll("s1") is None
+        assert chain.servers["s1"].log_size() == 5
+
+    def test_array_approach_uses_more_messages_per_truncation(self):
+        # Flow messages piggyback one pass for all origins; polling
+        # pays two messages per origin per watch server.
+        chain_flow = linear_chain(k=1, n_servers=4)
+        chain_poll = linear_chain(k=1, n_servers=4)
+        protocol = FlowProtocol(chain_flow)
+        arrays = SequenceNumberArray(chain_poll)
+        for chain in (chain_flow, chain_poll):
+            for i in range(5):
+                chain.push("src", i)
+            chain.pump()
+        protocol.round()
+        arrays.poll_all()
+        flow_cost = chain_flow.flow_messages + chain_flow.ack_messages
+        assert arrays.poll_messages > 0
+        assert flow_cost > 0

@@ -1,0 +1,123 @@
+"""Tests for the recovery-time vs run-time-overhead spectrum (Section 6.4)."""
+
+import pytest
+
+from repro.ha.chain import HATuple, StatelessOp, WindowOp
+from repro.ha.process_pair import ProcessPairChain, ProcessPairServer
+from repro.ha.virtual_machines import VirtualMachineChain, partition_ops
+
+
+def pipeline_ops(n_boxes=8, window_at=4, window=6):
+    """A pipeline of identity boxes with one windowed aggregate."""
+    ops = []
+    for i in range(n_boxes):
+        if i == window_at:
+            ops.append(WindowOp(window, sum))
+        else:
+            ops.append(StatelessOp(lambda v: v))
+    return ops
+
+
+def feed(target, n):
+    for i in range(n):
+        target.push(HATuple(1, {"src": i}))
+
+
+class TestProcessPair:
+    def test_checkpoint_per_message(self):
+        # "a checkpoint message every time a box processed a message".
+        server = ProcessPairServer("p", [StatelessOp(lambda v: v)])
+        for i in range(10):
+            server.ingest(HATuple(i, {"src": i}), sender="src")
+        assert server.checkpoint_messages == 10
+
+    def test_failover_redoes_almost_nothing(self):
+        server = ProcessPairServer("p", [WindowOp(4, sum)])
+        for i in range(10):
+            server.ingest(HATuple(1, {"src": i}), sender="src")
+        server.fail()
+        lost = server.failover()
+        assert lost <= 1
+        assert not server.failed
+
+    def test_failover_preserves_window_state(self):
+        server = ProcessPairServer("p", [WindowOp(4, sum)])
+        for i in range(6):  # 4 emitted, window open with 2
+            server.ingest(HATuple(1, {"src": i}), sender="src")
+        server.fail()
+        server.failover()
+        out = server.ingest(HATuple(1, {"src": 6}), sender="src")
+        out += server.ingest(HATuple(1, {"src": 7}), sender="src")
+        # The open window closes with the checkpointed contents intact.
+        assert [t.value for t in out] == [4]
+
+    def test_chain_delivery_and_failover(self):
+        chain = ProcessPairChain([
+            ProcessPairServer("p1", [StatelessOp(lambda v: v + 1)]),
+            ProcessPairServer("p2", [StatelessOp(lambda v: v * 2)]),
+        ])
+        feed(chain, 5)
+        assert [t.value for t in chain.delivered] == [4] * 5
+        assert chain.checkpoint_messages == 10
+        assert chain.fail_and_recover(0) <= 1
+
+
+class TestVirtualMachines:
+    def test_partition_ops(self):
+        ops = pipeline_ops(8)
+        stages = partition_ops(ops, 3)
+        assert [len(s) for s in stages] == [3, 3, 2]
+        assert partition_ops(ops, 20) == [[op] for op in ops]
+        with pytest.raises(ValueError):
+            partition_ops(ops, 0)
+
+    def test_delivery_unaffected_by_k(self):
+        results = []
+        for k in (1, 2, 4, 8):
+            vm = VirtualMachineChain(partition_ops(pipeline_ops(8), k))
+            feed(vm, 24)
+            results.append([t.value for t in vm.delivered])
+        assert all(r == results[0] for r in results)
+        assert results[0], "the pipeline should emit aggregates"
+
+    def test_replication_messages_grow_with_k(self):
+        # "At a cost of one message per entry in the queue" — more VM
+        # boundaries, more replicated entries.
+        costs = {}
+        for k in (1, 2, 4, 8):
+            vm = VirtualMachineChain(partition_ops(pipeline_ops(8), k))
+            feed(vm, 30)
+            costs[k] = vm.replication_messages
+        assert costs[1] < costs[2] < costs[4] < costs[8]
+
+    def test_recovery_work_shrinks_with_k(self):
+        # "finer granularity restart": more VMs, less redone work.
+        work = {}
+        for k in (1, 4, 8):
+            vm = VirtualMachineChain(partition_ops(pipeline_ops(8), k))
+            feed(vm, 27)  # leaves a partial window (27 % 6 == 3) open
+            work[k] = vm.recovery_work()
+        assert work[8] < work[1]
+
+    def test_spectrum_tradeoff(self):
+        """The paper's dial: K trades run-time messages against
+        recovery work monotonically at the endpoints."""
+        points = []
+        for k in (1, 2, 4, 8):
+            vm = VirtualMachineChain(partition_ops(pipeline_ops(8), k))
+            feed(vm, 27)  # partial window open: state to protect
+            points.append((vm.replication_messages, vm.recovery_work()))
+        messages = [p[0] for p in points]
+        work = [p[1] for p in points]
+        assert messages == sorted(messages)
+        assert work[-1] < work[0]
+
+    def test_stage_retains_open_window_inputs(self):
+        vm = VirtualMachineChain(partition_ops(pipeline_ops(4, window_at=3, window=5), 4))
+        feed(vm, 7)  # window of 5 closed once; 2 tuples open
+        window_stage = vm.stages[3]
+        assert len(window_stage.retained) >= 2
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualMachineChain([])

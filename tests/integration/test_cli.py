@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro`` demo runner."""
+
+import pytest
+
+from repro.__main__ import DEMOS, main
+
+
+class TestCli:
+    def test_no_args_lists_demos(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in DEMOS:
+            assert name in out
+
+    def test_unknown_demo_errors(self, capsys):
+        assert main(["bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown demo" in err
+
+    def test_quickstart_demo_runs(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        # The Figure 2 worked example's results appear.
+        assert "Result=2.5" in out
+        assert "Result=3.0" in out
+
+    def test_demo_registry_points_at_existing_scripts(self):
+        import pathlib
+
+        from repro import __main__ as entry
+
+        for script in DEMOS.values():
+            assert (entry._EXAMPLES_DIR / script).exists(), script

@@ -1,0 +1,94 @@
+"""Property-based tests for the k-safety guarantee (Section 6)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ha.chain import ServerChain, StatelessOp, WindowOp
+from repro.ha.recovery import run_failure_experiment
+
+
+def build_factory(k, window, n_servers=3):
+    def build():
+        chain = ServerChain(k=k)
+        chain.add_source("src")
+        previous = "src"
+        for i in range(1, n_servers + 1):
+            ops = [StatelessOp(lambda v: v + 1)]
+            if i == 2 and window:
+                ops = [WindowOp(window, sum)]
+            chain.add_server(f"s{i}", ops)
+            chain.connect(previous, f"s{i}")
+            previous = f"s{i}"
+        return chain
+    return build
+
+
+class TestKSafetyProperties:
+    @given(
+        fail_at=st.integers(5, 55),
+        which=st.sampled_from(["s1", "s2", "s3"]),
+        window=st.sampled_from([0, 3, 7]),
+        flow_every=st.sampled_from([5, 13, 0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_single_failure_is_lossless_at_k1(
+        self, fail_at, which, window, flow_every
+    ):
+        """Property: for ANY failure time, ANY failed server, ANY window
+        size and ANY truncation cadence, k=1 loses nothing on a single
+        failure."""
+        result = run_failure_experiment(
+            build_factory(k=1, window=window),
+            n_tuples=60,
+            fail_at=fail_at,
+            fail_servers=[which],
+            flow_every=flow_every,
+        )
+        assert result.lost_messages == 0
+
+    @given(
+        fail_at=st.integers(10, 50),
+        pair=st.sampled_from([["s1", "s2"], ["s2", "s3"]]),
+        window=st.sampled_from([4, 6]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_double_failure_is_lossless_at_k2(self, fail_at, pair, window):
+        result = run_failure_experiment(
+            build_factory(k=2, window=window),
+            n_tuples=60,
+            fail_at=fail_at,
+            fail_servers=pair,
+            flow_every=10,
+        )
+        assert result.lost_messages == 0
+
+    @given(fail_at=st.integers(5, 55), flow_every=st.sampled_from([5, 10]))
+    @settings(max_examples=25, deadline=None)
+    def test_recovery_never_duplicates_app_output(self, fail_at, flow_every):
+        """Property: replay never double-delivers — the failure run's
+        delivered count never exceeds the failure-free run's."""
+        result = run_failure_experiment(
+            build_factory(k=1, window=5),
+            n_tuples=60,
+            fail_at=fail_at,
+            fail_servers=["s2"],
+            flow_every=flow_every,
+        )
+        assert result.delivered_with_failure <= result.delivered_without_failure
+
+    @given(k=st.integers(1, 3))
+    @settings(max_examples=6, deadline=None)
+    def test_deeper_k_never_retains_less(self, k):
+        from repro.ha.flow import FlowProtocol
+
+        sizes = []
+        for depth in (k, k + 1):
+            chain = build_factory(k=depth, window=6, n_servers=4)()
+            protocol = FlowProtocol(chain)
+            for i in range(40):
+                chain.push("src", i)
+                chain.pump()
+                if (i + 1) % 10 == 0:
+                    protocol.round()
+            sizes.append(chain.total_log_size())
+        assert sizes[1] >= sizes[0]

@@ -1,0 +1,161 @@
+"""Integration: Medusa federating real Aurora* deployments (Section 3).
+
+The full stack the paper composes: single-node Aurora engines inside
+Aurora* deployments inside a Medusa federation, with an explicit
+contracted stream connection crossing the participant boundary.
+"""
+
+import pytest
+
+from repro.core.builder import QueryBuilder
+from repro.core.query import execute
+from repro.core.tuples import make_stream
+from repro.distributed.system import AuroraStarSystem
+from repro.medusa.bridge import BridgeError, StreamBridge, open_bridge
+from repro.medusa.contracts import ContentContract
+from repro.medusa.economy import Economy
+from repro.sim import Simulator
+from repro.workloads.generators import SensorSource
+
+
+def sender_network():
+    """Participant A: filter hot readings."""
+    return (
+        QueryBuilder("edge-filter")
+        .source("readings")
+        .where(lambda t: t["value"] > 21.0, name="hot")
+        .sink("hot_readings")
+        .build()
+    )
+
+
+def receiver_network():
+    """Participant B: per-sensor totals over the purchased stream."""
+    return (
+        QueryBuilder("analytics")
+        .source("purchased")
+        .tumble("sum", by=("sensor",), value="value", mode="count", window_size=4)
+        .sink("totals")
+        .build()
+    )
+
+
+def build_world(price=0.01):
+    sim = Simulator()
+    economy = Economy()
+    economy.open_account("edge-corp", 100.0)
+    economy.open_account("analytics-inc", 100.0)
+
+    edge = AuroraStarSystem(sender_network(), sim=sim)
+    edge.add_node("edge-n1")
+    edge.deploy_all_on("edge-n1")
+
+    analytics = AuroraStarSystem(receiver_network(), sim=sim)
+    analytics.add_node("ana-n1")
+    analytics.deploy_all_on("ana-n1")
+
+    bridge = open_bridge(
+        sim, edge, "hot_readings", analytics, "purchased",
+        economy, seller="edge-corp", buyer="analytics-inc",
+        price_per_message=price, latency=0.05, settle_every=5,
+    )
+    return sim, economy, edge, analytics, bridge
+
+
+class TestBridgeMechanics:
+    def test_stream_crosses_the_boundary(self):
+        sim, _eco, edge, analytics, bridge = build_world()
+        readings = SensorSource(4, rate=100.0, seed=2).generate(1.0)
+        edge.schedule_source("readings", readings)
+        sim.run()
+        analytics_system_flush(analytics)
+        assert bridge.messages_carried > 0
+        assert analytics.outputs["totals"], "totals must come out the far side"
+
+    def test_end_to_end_semantics_match_reference(self):
+        sim, _eco, edge, analytics, bridge = build_world()
+        readings = SensorSource(4, rate=100.0, seed=2).generate(1.0)
+        edge.schedule_source("readings", list(readings))
+        sim.run()
+        analytics_system_flush(analytics)
+
+        # Reference: the composed query run centrally.
+        hot = execute(sender_network(), {"readings": list(readings)})["hot_readings"]
+        reference = execute(receiver_network(), {"purchased": list(hot)})["totals"]
+
+        def totals(tuples):
+            acc = {}
+            for t in tuples:
+                acc[t["sensor"]] = acc.get(t["sensor"], 0) + round(t["result"], 6)
+            return acc
+
+        assert totals(analytics.outputs["totals"]) == totals(reference)
+
+    def test_contract_settles_per_carried_message(self):
+        sim, economy, edge, analytics, bridge = build_world(price=0.01)
+        edge.schedule_source(
+            "readings",
+            make_stream([{"sensor": 0, "value": 30.0}] * 20, spacing=0.001),
+        )
+        sim.run()
+        bridge.settle()  # flush the sub-batch remainder
+        assert bridge.messages_carried == 20
+        assert bridge.dollars_settled == pytest.approx(0.2)
+        assert economy.balance("edge-corp") == pytest.approx(100.2)
+        assert economy.balance("analytics-inc") == pytest.approx(99.8)
+
+    def test_wan_latency_applied(self):
+        sim, _eco, edge, analytics, bridge = build_world()
+        edge.schedule_source(
+            "readings", make_stream([{"sensor": 0, "value": 30.0}], spacing=0.0)
+        )
+        sim.run()
+        # The receiver saw the tuple at least one WAN hop after t=0.
+        assert analytics.tuples_delivered == 0  # window still open
+        arc = analytics.network.inputs["purchased"][0]
+        assert analytics.network.boxes[str(arc.target[0])].tuples_in == 1
+
+
+class TestBridgeValidation:
+    def test_simulators_must_match(self):
+        sim_a, sim_b = Simulator(), Simulator()
+        economy = Economy()
+        economy.open_account("a")
+        economy.open_account("b")
+        edge = AuroraStarSystem(sender_network(), sim=sim_a)
+        edge.add_node("n")
+        edge.deploy_all_on("n")
+        far = AuroraStarSystem(receiver_network(), sim=sim_b)
+        far.add_node("n")
+        far.deploy_all_on("n")
+        contract = ContentContract("s", sender="a", receiver="b")
+        with pytest.raises(BridgeError, match="share"):
+            StreamBridge(sim_a, edge, "hot_readings", far, "purchased",
+                         contract, economy)
+
+    def test_unknown_receiver_input(self):
+        sim = Simulator()
+        economy = Economy()
+        economy.open_account("a")
+        economy.open_account("b")
+        edge = AuroraStarSystem(sender_network(), sim=sim)
+        edge.add_node("n1")
+        edge.deploy_all_on("n1")
+        far = AuroraStarSystem(receiver_network(), sim=sim)
+        far.add_node("n2")
+        far.deploy_all_on("n2")
+        contract = ContentContract("s", sender="a", receiver="b")
+        with pytest.raises(BridgeError, match="no input"):
+            StreamBridge(sim, edge, "hot_readings", far, "ghost", contract, economy)
+
+    def test_subscribe_unknown_output(self):
+        sim = Simulator()
+        edge = AuroraStarSystem(sender_network(), sim=sim)
+        edge.add_node("n1")
+        with pytest.raises(KeyError):
+            edge.subscribe_output("ghost", lambda t: None)
+
+
+def analytics_system_flush(analytics: AuroraStarSystem) -> None:
+    """Flush the receiver's open windows after the stream ends."""
+    analytics.flush()

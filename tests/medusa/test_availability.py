@@ -1,0 +1,117 @@
+"""Tests for content-contract availability guarantees (Section 7.2)."""
+
+import pytest
+
+from repro.medusa.availability import AvailabilityTracker
+from repro.medusa.federation import FederatedQuery, Federation, QueryStage
+from repro.medusa.participant import Participant
+
+
+def build_fed(guarantee=0.9):
+    fed = Federation()
+    fed.add_participant(Participant("source", kind="source", capacity=1e9, unit_cost=0.0))
+    fed.add_participant(Participant("user", kind="sink", capacity=1e9, unit_cost=0.0),
+                        balance=1000.0)
+    seller = Participant("seller", capacity=1e6, unit_cost=0.001)
+    seller.offer_operator("op")
+    seller.authorize("seller")
+    fed.add_participant(seller)
+    query = FederatedQuery(
+        name="q", owner="seller", source="source", source_stream="s",
+        rate=10.0, source_value=0.01,
+        stages=[QueryStage("a", work_per_message=1.0, selectivity=1.0,
+                           value_added=0.05, template="op")],
+        sink="user",
+    )
+    fed.add_query(query)
+    fed.assign_stage("q", "a", "seller")
+    # Fix the guarantee on the contracts the federation derives.
+    for seller_name, buyer, _m, price in fed.boundaries(query):
+        contract = fed._contract_for(query, seller_name, buyer, price)
+        contract.availability = guarantee
+    return fed
+
+
+class TestOutageSemantics:
+    def test_failed_participant_halts_its_queries(self):
+        fed = build_fed()
+        fed.participant("seller").fail()
+        profits = fed.run_round()
+        assert profits["seller"] == 0.0
+        assert fed.history[-1]["operational"] == []
+        assert fed.economy.ledger == []
+
+    def test_recovery_resumes_service(self):
+        fed = build_fed()
+        fed.participant("seller").fail()
+        fed.run_round()
+        fed.participant("seller").recover()
+        fed.run_round()
+        assert fed.history[-1]["operational"] == ["q"]
+
+
+class TestAvailabilityTracking:
+    def run_rounds(self, fed, tracker, outage_rounds, total=10):
+        for i in range(total):
+            if i in outage_rounds:
+                fed.participant("seller").fail()
+            else:
+                fed.participant("seller").recover()
+            fed.run_round()
+            tracker.observe_round()
+
+    def test_full_uptime_no_breach(self):
+        fed = build_fed(guarantee=0.9)
+        tracker = AvailabilityTracker(fed)
+        self.run_rounds(fed, tracker, outage_rounds=set())
+        assert tracker.breaches() == []
+        for record in tracker.records.values():
+            assert record.uptime == 1.0
+
+    def test_small_outage_within_guarantee(self):
+        fed = build_fed(guarantee=0.9)
+        tracker = AvailabilityTracker(fed)
+        self.run_rounds(fed, tracker, outage_rounds={3})  # 9/10 uptime
+        assert tracker.breaches() == []
+
+    def test_excess_outage_breaches(self):
+        fed = build_fed(guarantee=0.9)
+        tracker = AvailabilityTracker(fed)
+        self.run_rounds(fed, tracker, outage_rounds={2, 3, 4})  # 0.7 uptime
+        breaches = tracker.breaches()
+        assert breaches
+        assert all(r.uptime == pytest.approx(0.7) for r in breaches)
+
+    def test_penalty_compensates_the_buyer(self):
+        fed = build_fed(guarantee=0.9)
+        tracker = AvailabilityTracker(fed)
+        self.run_rounds(fed, tracker, outage_rounds={2, 3, 4})
+        seller_before = fed.economy.balance("seller")
+        paid = tracker.settle_penalties(penalty_factor=1.0)
+        assert paid > 0.0
+        assert fed.economy.balance("seller") == pytest.approx(seller_before - paid / 2, rel=1.0)
+        # Ledger records the penalty transfers with the right memo.
+        memos = {e.memo for e in fed.economy.ledger}
+        assert any(m.startswith("availability-penalty") for m in memos)
+
+    def test_penalty_scales_with_shortfall(self):
+        shallow_fed = build_fed(guarantee=0.9)
+        shallow = AvailabilityTracker(shallow_fed)
+        self.run_rounds(shallow_fed, shallow, outage_rounds={2, 3})
+        deep_fed = build_fed(guarantee=0.9)
+        deep = AvailabilityTracker(deep_fed)
+        self.run_rounds(deep_fed, deep, outage_rounds={2, 3, 4, 5, 6})
+        assert deep.settle_penalties() > shallow.settle_penalties()
+
+    def test_penalty_factor_validation(self):
+        tracker = AvailabilityTracker(build_fed())
+        with pytest.raises(ValueError):
+            tracker.settle_penalties(penalty_factor=-1)
+
+    def test_money_conserved_through_penalties(self):
+        fed = build_fed(guarantee=0.95)
+        tracker = AvailabilityTracker(fed)
+        self.run_rounds(fed, tracker, outage_rounds={1, 2, 3})
+        before = fed.economy.total_balance()
+        tracker.settle_penalties()
+        assert fed.economy.total_balance() == pytest.approx(before)

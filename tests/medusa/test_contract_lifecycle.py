@@ -1,0 +1,65 @@
+"""Tests for contract periods and renewal in the market loop (§7.2)."""
+
+import pytest
+
+from repro.medusa.federation import FederatedQuery, Federation, QueryStage
+from repro.medusa.participant import Participant
+
+
+def build(contract_period=None):
+    fed = Federation(contract_period=contract_period)
+    fed.add_participant(Participant("src", kind="source", capacity=1e9, unit_cost=0.0))
+    fed.add_participant(Participant("user", kind="sink", capacity=1e9, unit_cost=0.0),
+                        balance=1000.0)
+    worker = Participant("worker", capacity=1e6, unit_cost=0.001)
+    worker.offer_operator("op")
+    fed.add_participant(worker)
+    query = FederatedQuery(
+        name="q", owner="worker", source="src", source_stream="s",
+        rate=10.0, source_value=0.01,
+        stages=[QueryStage("a", 1.0, 1.0, 0.05, template="op")],
+        sink="user",
+    )
+    fed.add_query(query)
+    fed.assign_stage("q", "a", "worker")
+    return fed
+
+
+class TestContractPeriods:
+    def test_open_ended_contracts_persist(self):
+        fed = build(contract_period=None)
+        for _ in range(6):
+            fed.run_round()
+        assert fed.contracts_renewed == 0
+        # One contract per boundary, reused every round.
+        contracts = list(fed._content_contracts.values())
+        assert all(c.messages_settled > 10 for c in contracts)
+
+    def test_periodic_contracts_renew(self):
+        fed = build(contract_period=3)
+        for _ in range(7):
+            fed.run_round()
+        assert fed.contracts_renewed >= 2
+        for contract in fed._content_contracts.values():
+            assert not contract.expired(fed.economy.round)
+
+    def test_renewal_preserves_payment_flow(self):
+        never = build(contract_period=None)
+        short = build(contract_period=2)
+        for fed in (never, short):
+            for _ in range(6):
+                fed.run_round()
+        # Same economics either way: renewal is bookkeeping, not pricing.
+        assert never.economy.balance("worker") == pytest.approx(
+            short.economy.balance("worker")
+        )
+
+    def test_started_round_recorded(self):
+        fed = build(contract_period=2)
+        fed.run_round()
+        first = list(fed._content_contracts.values())[0]
+        assert first.started_round >= 0
+        for _ in range(3):
+            fed.run_round()
+        renewed = list(fed._content_contracts.values())[0]
+        assert renewed.started_round > first.started_round

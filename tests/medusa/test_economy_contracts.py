@@ -1,0 +1,189 @@
+"""Tests for the economy ledger and the three contract types."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.medusa.contracts import (
+    ContentContract,
+    ContractError,
+    MovementContract,
+    MovementPlan,
+    SuggestedContract,
+)
+from repro.medusa.economy import Economy, EconomyError
+
+
+def economy_with(*names, balance=100.0):
+    economy = Economy()
+    for name in names:
+        economy.open_account(name, balance)
+    return economy
+
+
+class TestEconomy:
+    def test_open_and_balance(self):
+        economy = economy_with("a")
+        assert economy.balance("a") == 100.0
+
+    def test_duplicate_account_rejected(self):
+        economy = economy_with("a")
+        with pytest.raises(EconomyError):
+            economy.open_account("a")
+
+    def test_unknown_account_rejected(self):
+        economy = economy_with("a")
+        with pytest.raises(EconomyError):
+            economy.balance("ghost")
+        with pytest.raises(EconomyError):
+            economy.transfer("a", "ghost", 1.0)
+
+    def test_transfer_moves_money(self):
+        economy = economy_with("a", "b")
+        economy.transfer("a", "b", 30.0, memo="test")
+        assert economy.balance("a") == 70.0
+        assert economy.balance("b") == 130.0
+        assert len(economy.ledger) == 1
+
+    def test_negative_transfer_rejected(self):
+        economy = economy_with("a", "b")
+        with pytest.raises(EconomyError):
+            economy.transfer("a", "b", -5.0)
+
+    def test_zero_transfer_not_recorded(self):
+        economy = economy_with("a", "b")
+        economy.transfer("a", "b", 0.0)
+        assert economy.ledger == []
+
+    def test_accounts_may_go_negative(self):
+        economy = economy_with("a", "b", balance=0.0)
+        economy.transfer("a", "b", 10.0)
+        assert economy.balance("a") == -10.0
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.sampled_from(["a", "b", "c"]),
+                              st.floats(0, 50, allow_nan=False)), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_total_balance_conserved(self, transfers):
+        economy = economy_with("a", "b", "c")
+        initial = economy.total_balance()
+        for payer, payee, amount in transfers:
+            economy.transfer(payer, payee, amount)
+        assert economy.total_balance() == pytest.approx(initial)
+
+    def test_transfers_between(self):
+        economy = economy_with("a", "b")
+        economy.transfer("a", "b", 1.0)
+        economy.transfer("b", "a", 2.0)
+        assert len(economy.transfers_between("a", "b")) == 1
+
+
+class TestContentContract:
+    def test_settle_pays_sender(self):
+        # "the receiving participant always pays the sender".
+        economy = economy_with("seller", "buyer")
+        contract = ContentContract("quotes", sender="seller", receiver="buyer",
+                                   price_per_message=0.5)
+        paid = contract.settle(economy, 10)
+        assert paid == 5.0
+        assert economy.balance("seller") == 105.0
+        assert contract.messages_settled == 10
+
+    def test_subscription_plus_per_message(self):
+        economy = economy_with("s", "b")
+        contract = ContentContract("q", sender="s", receiver="b",
+                                   price_per_message=0.1, subscription=2.0)
+        assert contract.settle(economy, 10) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ContractError):
+            ContentContract("q", sender="s", receiver="s")
+        with pytest.raises(ContractError):
+            ContentContract("q", sender="s", receiver="b", price_per_message=-1)
+        with pytest.raises(ContractError):
+            ContentContract("q", sender="s", receiver="b", availability=1.5)
+
+    def test_inactive_contract_cannot_settle(self):
+        economy = economy_with("s", "b")
+        contract = ContentContract("q", sender="s", receiver="b", active=False)
+        with pytest.raises(ContractError):
+            contract.settle(economy, 1)
+
+    def test_expiry(self):
+        contract = ContentContract("q", sender="s", receiver="b",
+                                   period=5, started_round=10)
+        assert not contract.expired(14)
+        assert contract.expired(15)
+        open_ended = ContentContract("q", sender="s", receiver="b")
+        assert not open_ended.expired(10**6)
+
+
+class TestSuggestedContract:
+    def test_may_be_ignored(self):
+        suggestion = SuggestedContract(
+            suggester="p", receiver="r", stream_name="s",
+            alternate_sender="q", alternate_stream="s2",
+        )
+        assert suggestion.accepted is None
+        suggestion.ignore()
+        assert suggestion.accepted is False
+
+    def test_accept(self):
+        suggestion = SuggestedContract("p", "r", "s", "q", "s2")
+        assert suggestion.accept().accepted is True
+
+
+class TestMovementContract:
+    def make(self):
+        contract = MovementContract(query="q", stage="f", first="p1", second="p2")
+        contract.add_plan("p1", MovementPlan(host="p1"))
+        contract.add_plan("p2", MovementPlan(host="p2"))
+        return contract
+
+    def test_activation_switches_host(self):
+        contract = self.make()
+        contract.activate("p1")
+        assert contract.current_host == "p1"
+        contract.activate("p2")
+        assert contract.current_host == "p2"
+        assert contract.switches == 1
+
+    def test_activating_same_plan_is_not_a_switch(self):
+        contract = self.make()
+        contract.activate("p1")
+        contract.activate("p1")
+        assert contract.switches == 0
+
+    def test_plan_contract_activation_flags(self):
+        contract = MovementContract(query="q", stage="f", first="p1", second="p2")
+        c1 = ContentContract("q@a", sender="a", receiver="p1", active=False)
+        c2 = ContentContract("q@a", sender="a", receiver="p2", active=False)
+        contract.add_plan("p1", MovementPlan(host="p1", contracts=[c1]))
+        contract.add_plan("p2", MovementPlan(host="p2", contracts=[c2]))
+        contract.activate("p1")
+        assert c1.active and not c2.active or c1.active  # p1 on
+        contract.activate("p2")
+        assert not c1.active
+        assert c2.active
+
+    def test_foreign_host_rejected(self):
+        contract = MovementContract(query="q", stage="f", first="p1", second="p2")
+        with pytest.raises(ContractError):
+            contract.add_plan("x", MovementPlan(host="outsider"))
+
+    def test_cancelled_contract_refuses_activation(self):
+        contract = self.make()
+        contract.activate("p1")
+        contract.cancel()
+        with pytest.raises(ContractError):
+            contract.activate("p2")
+
+    def test_unknown_plan(self):
+        contract = self.make()
+        with pytest.raises(ContractError):
+            contract.activate("ghost")
+
+    def test_current_host_requires_active_plan(self):
+        contract = self.make()
+        with pytest.raises(ContractError):
+            _ = contract.current_host

@@ -1,0 +1,236 @@
+"""Tests for federated queries, the market loop, oracles and remote definition."""
+
+import pytest
+
+from repro.medusa.federation import (
+    FederatedQuery,
+    Federation,
+    FederationError,
+    QueryStage,
+)
+from repro.medusa.oracle import Oracle, make_movement_contract, negotiate, run_market
+from repro.medusa.participant import Participant
+from repro.medusa.remote import (
+    RemoteDefinitionError,
+    content_customization_savings,
+    remote_define,
+)
+
+
+def build_federation(n_interior=2, capacity=400.0):
+    fed = Federation()
+    fed.add_participant(Participant("sensors", kind="source", capacity=1e9, unit_cost=0.0))
+    fed.add_participant(Participant("user", kind="sink", capacity=1e9, unit_cost=0.0),
+                        balance=10_000.0)
+    for i in range(1, n_interior + 1):
+        # Steep congestion: processing beyond capacity quickly costs
+        # more than any stage's value-added margin, which is the
+        # economic pressure behind oracle-driven load balancing.
+        p = Participant(
+            f"p{i}", capacity=capacity, unit_cost=0.01, congestion_penalty=50.0
+        )
+        p.offer_operator("filter")
+        p.offer_operator("aggregate")
+        fed.add_participant(p)
+    return fed
+
+
+def simple_query(owner="p1", rate=100.0):
+    return FederatedQuery(
+        name="alerts",
+        owner=owner,
+        source="sensors",
+        source_stream="readings",
+        rate=rate,
+        source_value=0.01,
+        stages=[
+            QueryStage("filter", work_per_message=1.0, selectivity=0.5,
+                       value_added=0.02, template="filter"),
+            QueryStage("agg", work_per_message=2.0, selectivity=0.1,
+                       value_added=0.5, template="aggregate"),
+        ],
+        sink="user",
+    )
+
+
+class TestQueryModel:
+    def test_flow_computation(self):
+        fed = build_federation()
+        query = fed.add_query(simple_query())
+        fed.assign_stage("alerts", "filter", "p1")
+        fed.assign_stage("alerts", "agg", "p1")
+        flows = query.flows()
+        assert flows[0].messages_in == 100.0
+        assert flows[0].messages_out == 50.0
+        assert flows[1].messages_out == pytest.approx(5.0)
+        # Value concentrates through filters and grows with value_added.
+        assert flows[0].value_out > flows[0].value_in
+
+    def test_unassigned_stage_rejected(self):
+        fed = build_federation()
+        query = fed.add_query(simple_query())
+        with pytest.raises(FederationError, match="unassigned"):
+            query.flows()
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(FederationError):
+            FederatedQuery(
+                "q", owner="p", source="s", source_stream="x", rate=1.0,
+                source_value=1.0,
+                stages=[QueryStage("a"), QueryStage("a")], sink="u",
+            )
+
+    def test_validation(self):
+        with pytest.raises(FederationError):
+            FederatedQuery("q", "p", "s", "x", rate=-1, source_value=1,
+                           stages=[QueryStage("a")], sink="u")
+        with pytest.raises(FederationError):
+            QueryStage("a", selectivity=-1)
+
+
+class TestRemoteDefinitionAuthorization:
+    def test_owner_hosts_without_authorization(self):
+        fed = build_federation()
+        fed.add_query(simple_query(owner="p1"))
+        fed.assign_stage("alerts", "filter", "p1")  # owner: always fine
+
+    def test_foreign_host_requires_authorization(self):
+        fed = build_federation()
+        fed.add_query(simple_query(owner="p1"))
+        with pytest.raises(FederationError, match="authorized"):
+            fed.assign_stage("alerts", "filter", "p2")
+        fed.participant("p2").authorize("p1")
+        fed.assign_stage("alerts", "filter", "p2")  # now allowed
+
+    def test_remote_define_api(self):
+        host = Participant("h")
+        host.offer_operator("wsort")
+        with pytest.raises(RemoteDefinitionError, match="authorized"):
+            remote_define(host, "visitor", "wsort")
+        host.authorize("visitor")
+        op = remote_define(host, "visitor", "wsort")
+        assert op.host == "h"
+        assert "wsort" in op.instance
+
+    def test_unoffered_template_rejected(self):
+        host = Participant("h")
+        host.authorize("visitor")
+        with pytest.raises(RemoteDefinitionError, match="offer"):
+            remote_define(host, "visitor", "secret_op")
+
+    def test_content_customization_savings(self):
+        # Section 4.4's stock-quote filter example: only the matching
+        # fraction crosses the boundary.
+        saved = content_customization_savings(rate=1000, selectivity=0.01,
+                                              message_bytes=100)
+        assert saved == pytest.approx(99_000.0)
+        with pytest.raises(ValueError):
+            content_customization_savings(10, 1.5, 100)
+
+
+class TestMarketRound:
+    def setup_fed(self):
+        fed = build_federation()
+        fed.add_query(simple_query(owner="p1"))
+        fed.assign_stage("alerts", "filter", "p1")
+        fed.assign_stage("alerts", "agg", "p1")
+        return fed
+
+    def test_money_flows_along_the_pipeline(self):
+        fed = self.setup_fed()
+        fed.run_round()
+        # The user paid, the source earned, p1 took a margin.
+        assert fed.economy.balance("user") < 10_000.0
+        assert fed.economy.balance("sensors") > 0.0
+        assert fed.economy.balance("p1") > 0.0
+
+    def test_interior_participant_profits(self):
+        # "their contracts have to make money or they will cease
+        # operation": with value_added above processing cost, p1 profits.
+        fed = self.setup_fed()
+        profits = fed.run_round()
+        assert profits["p1"] > 0.0
+
+    def test_total_money_conserved(self):
+        fed = self.setup_fed()
+        before = fed.economy.total_balance()
+        fed.run_round()
+        assert fed.economy.total_balance() == pytest.approx(before)
+
+    def test_load_recorded(self):
+        fed = self.setup_fed()
+        fed.run_round()
+        assert fed.load_factors()["p1"] > 0.0
+        assert fed.history[-1]["round"] == 1
+
+    def test_evaluate_matches_run(self):
+        fed = self.setup_fed()
+        predicted = fed.evaluate_profits()
+        actual = fed.run_round()
+        assert predicted["p1"] == pytest.approx(actual["p1"], rel=0.05)
+
+    def test_congestion_raises_cost(self):
+        cheap = Participant("c", capacity=1000.0, unit_cost=0.01)
+        assert cheap.cost_of(500) == pytest.approx(5.0)
+        # Above capacity: strictly more than linear.
+        assert cheap.cost_of(2000) > 2000 * 0.01
+
+
+class TestOraclesAndMarket:
+    def overloaded_fed(self):
+        """p1 hosts everything and is overloaded; p2 idle."""
+        fed = build_federation(n_interior=2, capacity=120.0)
+        fed.participant("p1").authorize("p1")
+        fed.participant("p2").authorize("p1")
+        fed.add_query(simple_query(owner="p1", rate=100.0))
+        fed.assign_stage("alerts", "filter", "p1")
+        fed.assign_stage("alerts", "agg", "p1")
+        return fed
+
+    def test_oracle_proposes_offload_when_overloaded(self):
+        fed = self.overloaded_fed()
+        # total work on p1: 100*1 + 50*2 = 200 > capacity 120.
+        contract = make_movement_contract(fed, "alerts", "agg", "p1", "p2")
+        oracle = Oracle(fed, "p1")
+        assert oracle.prefers_switch(contract) == "p2"
+
+    def test_negotiation_switches_when_both_benefit(self):
+        fed = self.overloaded_fed()
+        contract = make_movement_contract(fed, "alerts", "agg", "p1", "p2")
+        oracles = {name: Oracle(fed, name) for name in fed.participants}
+        assert negotiate(fed, contract, oracles)
+        assert fed.queries["alerts"].assignment["agg"] == "p2"
+        assert contract.current_host == "p2"
+
+    def test_market_anneals_to_stability(self):
+        fed = self.overloaded_fed()
+        contracts = [
+            make_movement_contract(fed, "alerts", "filter", "p1", "p2"),
+            make_movement_contract(fed, "alerts", "agg", "p1", "p2"),
+        ]
+        result = run_market(fed, contracts, rounds=10)
+        assert result["settled_at"] is not None
+        # Post-anneal, work is spread: p1 no longer grossly overloaded.
+        final_load = result["history"][-1]["load"]
+        assert final_load["p1"] < 2.0
+
+    def test_balanced_market_does_not_thrash(self):
+        fed = build_federation(n_interior=2, capacity=1000.0)
+        fed.participant("p2").authorize("p1")
+        fed.add_query(simple_query(owner="p1", rate=10.0))
+        fed.assign_stage("alerts", "filter", "p1")
+        fed.assign_stage("alerts", "agg", "p1")
+        contracts = [make_movement_contract(fed, "alerts", "agg", "p1", "p2")]
+        result = run_market(fed, contracts, rounds=8)
+        assert result["switches"] <= 1
+
+    def test_unauthorized_switch_blocked(self):
+        fed = build_federation(n_interior=2, capacity=120.0)
+        # p2 never authorizes p1: negotiation cannot move the stage.
+        fed.add_query(simple_query(owner="p1", rate=100.0))
+        fed.assign_stage("alerts", "filter", "p1")
+        fed.assign_stage("alerts", "agg", "p1")
+        contract = make_movement_contract(fed, "alerts", "agg", "p1", "p2")
+        oracles = {name: Oracle(fed, name) for name in fed.participants}
+        assert not negotiate(fed, contract, oracles)
+        assert fed.queries["alerts"].assignment["agg"] == "p1"

@@ -1,0 +1,114 @@
+"""Tests for participant removal via suggested contracts (Section 7.2)."""
+
+import pytest
+
+from repro.medusa.federation import FederatedQuery, Federation, FederationError, QueryStage
+from repro.medusa.participant import Participant
+from repro.medusa.removal import apply_removal, propose_removal, stages_hosted_by
+
+
+def star_federation():
+    """owner 'hub' hosts both stages between source and user (star shape)."""
+    fed = Federation()
+    fed.add_participant(Participant("source", kind="source", capacity=1e9, unit_cost=0.0))
+    fed.add_participant(Participant("user", kind="sink", capacity=1e9, unit_cost=0.0),
+                        balance=1000.0)
+    for name in ("hub", "edge"):
+        p = Participant(name, capacity=500.0, unit_cost=0.01)
+        p.offer_operator("op")
+        p.authorize("hub")
+        fed.add_participant(p)
+    query = FederatedQuery(
+        name="q", owner="hub", source="source", source_stream="s",
+        rate=50.0, source_value=0.01,
+        stages=[
+            QueryStage("a", work_per_message=1.0, selectivity=0.5,
+                       value_added=0.05, template="op"),
+            QueryStage("b", work_per_message=1.0, selectivity=0.5,
+                       value_added=0.1, template="op"),
+        ],
+        sink="user",
+    )
+    fed.add_query(query)
+    fed.assign_stage("q", "a", "hub")
+    fed.assign_stage("q", "b", "hub")
+    return fed
+
+
+class TestProposal:
+    def test_suggestions_target_the_buyers(self):
+        fed = star_federation()
+        suggestions = propose_removal(fed, "q", leaving="hub", replacement="edge")
+        # hub sells to the user: one boundary, one suggestion.
+        assert len(suggestions) == 1
+        suggestion = suggestions[0]
+        assert suggestion.suggester == "hub"
+        assert suggestion.receiver == "user"
+        assert suggestion.alternate_sender == "edge"
+        assert suggestion.accepted is None
+
+    def test_nonhosting_participant_rejected(self):
+        fed = star_federation()
+        with pytest.raises(FederationError, match="hosts no stage"):
+            propose_removal(fed, "q", leaving="edge", replacement="hub")
+
+    def test_unknown_replacement_rejected(self):
+        fed = star_federation()
+        with pytest.raises(FederationError):
+            propose_removal(fed, "q", leaving="hub", replacement="ghost")
+
+    def test_stages_hosted_by(self):
+        fed = star_federation()
+        assert stages_hosted_by(fed.queries["q"], "hub") == ["a", "b"]
+        assert stages_hosted_by(fed.queries["q"], "edge") == []
+
+
+class TestApplication:
+    def test_accepted_suggestions_move_the_stages(self):
+        fed = star_federation()
+        suggestions = propose_removal(fed, "q", "hub", "edge")
+        for s in suggestions:
+            s.accept()
+        assert apply_removal(fed, "q", "hub", "edge", suggestions)
+        assert stages_hosted_by(fed.queries["q"], "hub") == []
+        assert stages_hosted_by(fed.queries["q"], "edge") == ["a", "b"]
+        # The new boundaries route around the removed participant.
+        sellers = {s for s, _b, _m, _p in fed.boundaries(fed.queries["q"])}
+        assert "hub" not in sellers
+
+    def test_ignored_suggestion_blocks_removal(self):
+        fed = star_federation()
+        suggestions = propose_removal(fed, "q", "hub", "edge")
+        suggestions[0].ignore()
+        assert not apply_removal(fed, "q", "hub", "edge", suggestions)
+        assert stages_hosted_by(fed.queries["q"], "hub") == ["a", "b"]
+
+    def test_undecided_suggestion_blocks_removal(self):
+        fed = star_federation()
+        suggestions = propose_removal(fed, "q", "hub", "edge")
+        assert not apply_removal(fed, "q", "hub", "edge", suggestions)
+
+    def test_unauthorized_replacement_rolls_back(self):
+        fed = star_federation()
+        # Revoke the edge's authorization of the query owner.
+        fed.participant("edge").authorized_definers.clear()
+        suggestions = propose_removal(fed, "q", "hub", "edge")
+        for s in suggestions:
+            s.accept()
+        with pytest.raises(FederationError, match="authorized"):
+            apply_removal(fed, "q", "hub", "edge", suggestions)
+        # Nothing moved.
+        assert stages_hosted_by(fed.queries["q"], "hub") == ["a", "b"]
+
+    def test_empty_suggestions_rejected(self):
+        fed = star_federation()
+        with pytest.raises(FederationError, match="no suggestions"):
+            apply_removal(fed, "q", "hub", "edge", [])
+
+    def test_market_runs_after_removal(self):
+        fed = star_federation()
+        suggestions = [s.accept() for s in propose_removal(fed, "q", "hub", "edge")]
+        apply_removal(fed, "q", "hub", "edge", suggestions)
+        profits = fed.run_round()
+        assert profits["edge"] != 0.0   # the edge now earns the margins
+        assert fed.economy.total_balance() == pytest.approx(1000.0)

@@ -1,0 +1,142 @@
+"""Tests for the intra/inter-participant catalogs and event routing."""
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.network.catalog import (
+    InterParticipantCatalog,
+    IntraParticipantCatalog,
+    StreamLocation,
+)
+from repro.network.naming import EntityName
+from repro.network.overlay import Overlay
+from repro.network.routing import EventRouter
+from repro.sim import Simulator
+
+
+class TestStreamLocation:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            StreamLocation([])
+
+    def test_moved_bumps_version(self):
+        loc = StreamLocation(["n1"])
+        moved = loc.moved(["n2", "n3"])
+        assert moved.version == 1
+        assert moved.nodes == ["n2", "n3"]
+        assert moved.primary() == "n2"
+
+
+class TestIntraParticipantCatalog:
+    def test_define_and_lookup(self):
+        cat = IntraParticipantCatalog("mit")
+        cat.define("schema", "quote", {"fields": ["sym", "px"]})
+        assert cat.definition("schema", "quote") == {"fields": ["sym", "px"]}
+        assert cat.names("schema") == ["quote"]
+
+    def test_duplicate_definition_rejected(self):
+        cat = IntraParticipantCatalog("mit")
+        cat.define("stream", "quotes", "quote")
+        with pytest.raises(KeyError):
+            cat.define("stream", "quotes", "quote")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            IntraParticipantCatalog("mit").define("table", "x", None)
+
+    def test_stream_location_updates_version(self):
+        cat = IntraParticipantCatalog("mit")
+        cat.set_stream_location("quotes", ["n1"])
+        assert cat.stream_location("quotes").version == 0
+        cat.set_stream_location("quotes", ["n1", "n2"])
+        assert cat.stream_location("quotes").version == 1
+
+    def test_unknown_stream_location(self):
+        with pytest.raises(KeyError):
+            IntraParticipantCatalog("mit").stream_location("ghost")
+
+    def test_query_piece_placement(self):
+        cat = IntraParticipantCatalog("mit")
+        cat.place_query_piece("q1", "filter-box", "n1")
+        cat.place_query_piece("q1", "tumble-box", "n2")
+        assert cat.query_pieces("q1") == {"filter-box": "n1", "tumble-box": "n2"}
+        assert cat.node_pieces("n1") == [("q1", "filter-box")]
+
+
+class TestInterParticipantCatalog:
+    def test_publish_and_lookup(self):
+        cat = InterParticipantCatalog()
+        for i in range(5):
+            cat.join(f"participant{i}")
+        name = EntityName("mit", "quotes")
+        holder = cat.publish(name, {"location": "mit-node-3"})
+        value, hops = cat.lookup(name)
+        assert value == {"location": "mit-node-3"}
+        assert holder == cat.holder(name)
+
+    def test_leave_preserves_entries(self):
+        cat = InterParticipantCatalog()
+        for i in range(5):
+            cat.join(f"p{i}")
+        name = EntityName("mit", "quotes")
+        cat.publish(name, "desc")
+        cat.leave(cat.holder(name))
+        assert cat.lookup(name)[0] == "desc"
+
+
+class TestEventRouter:
+    def make_router(self):
+        sim = Simulator()
+        overlay = Overlay(sim, default_latency=0.0)
+        for n in ("entry", "n1", "n2"):
+            overlay.add_node(n)
+        catalog = IntraParticipantCatalog("mit")
+        catalog.define("schema", "reading", None)
+        router = EventRouter(overlay, catalog)
+        return sim, overlay, catalog, router
+
+    def test_register_assigns_default_location(self):
+        _sim, _overlay, catalog, router = self.make_router()
+        router.register_stream("sensors", "reading", default_node="n1")
+        assert catalog.stream_location("sensors").nodes == ["n1"]
+
+    def test_route_forwards_to_location(self):
+        sim, overlay, _catalog, router = self.make_router()
+        router.register_stream("sensors", "reading", default_node="n1")
+        received = []
+        overlay.node("n1").on("tuples", lambda m: received.append(m.payload))
+        target = router.route("entry", "sensors", StreamTuple({"v": 1}))
+        sim.run()
+        assert target == "n1"
+        assert received and received[0]["stream"] == "sensors"
+        assert router.events_forwarded == 1
+
+    def test_local_delivery_skips_network(self):
+        sim, overlay, _catalog, router = self.make_router()
+        router.register_stream("sensors", "reading", default_node="entry")
+        received = []
+        overlay.node("entry").on("tuples", lambda m: received.append(m))
+        router.route("entry", "sensors", StreamTuple({"v": 1}))
+        assert len(received) == 1
+        assert router.events_forwarded == 0
+        assert overlay.messages_sent == 0
+
+    def test_partitioned_stream_spreads_events(self):
+        sim, overlay, _catalog, router = self.make_router()
+        router.register_stream("sensors", "reading", default_node="n1")
+        router.move_stream("sensors", ["n1", "n2"])
+        overlay.node("n1").on("tuples", lambda m: None)
+        overlay.node("n2").on("tuples", lambda m: None)
+        targets = {
+            router.route("entry", "sensors", StreamTuple({"v": i}))
+            for i in range(50)
+        }
+        sim.run()
+        assert targets == {"n1", "n2"}
+
+    def test_move_stream_updates_catalog(self):
+        _sim, _overlay, catalog, router = self.make_router()
+        router.register_stream("sensors", "reading", default_node="n1")
+        router.move_stream("sensors", ["n2"])
+        assert catalog.stream_location("sensors").nodes == ["n2"]
+        assert catalog.stream_location("sensors").version == 1

@@ -1,0 +1,125 @@
+"""Tests for the UDP-based multiplexing with AIMD congestion control."""
+
+import pytest
+
+from repro.network.congestion import (
+    AIMDController,
+    DatagramLink,
+    UdpMultiplexedTransport,
+)
+
+
+def saturated_transport(capacity=10, weights=None, queue_size=4):
+    link = DatagramLink(capacity_per_rtt=capacity, queue_size=queue_size)
+    transport = UdpMultiplexedTransport(link, weights=weights)
+    for stream in (weights or {"s": 1.0}):
+        transport.enqueue(stream, packets=100_000)
+    return transport
+
+
+class TestDatagramLink:
+    def test_within_capacity_all_delivered(self):
+        link = DatagramLink(capacity_per_rtt=10, queue_size=2)
+        assert link.transmit(8) == (8, 0)
+
+    def test_overload_drops_excess(self):
+        link = DatagramLink(capacity_per_rtt=10, queue_size=2)
+        delivered, dropped = link.transmit(20)
+        assert delivered == 12
+        assert dropped == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatagramLink(0)
+        with pytest.raises(ValueError):
+            DatagramLink(5, queue_size=-1)
+
+
+class TestAIMD:
+    def test_slow_start_doubles(self):
+        controller = AIMDController(initial_window=1.0, ssthresh=16.0)
+        controller.on_round(losses=0)
+        assert controller.cwnd == 2.0
+        controller.on_round(losses=0)
+        assert controller.cwnd == 4.0
+
+    def test_congestion_avoidance_adds_one(self):
+        controller = AIMDController(initial_window=20.0, ssthresh=16.0)
+        controller.on_round(losses=0)
+        assert controller.cwnd == 21.0
+
+    def test_loss_halves(self):
+        controller = AIMDController(initial_window=20.0)
+        controller.on_round(losses=3)
+        assert controller.cwnd == 10.0
+        assert controller.ssthresh == 10.0
+
+    def test_window_floor_one(self):
+        controller = AIMDController(initial_window=1.0)
+        controller.on_round(losses=1)
+        assert controller.cwnd == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AIMDController(initial_window=0.5)
+
+
+class TestUdpTransport:
+    def test_converges_near_link_capacity(self):
+        transport = saturated_transport(capacity=10)
+        transport.run(rounds=300)
+        # After convergence, the AIMD sawtooth delivers most of the
+        # bottleneck's capacity.
+        assert transport.utilization() > 0.75
+
+    def test_loss_rate_bounded_after_convergence(self):
+        transport = saturated_transport(capacity=10)
+        transport.run(rounds=50)   # warm up
+        before = dict(transport.lost)
+        transport.run(rounds=250)
+        new_losses = sum(transport.lost.values()) - sum(before.values())
+        new_total = new_losses + sum(transport.delivered.values())
+        assert new_losses / max(new_total, 1) < 0.10
+
+    def test_sawtooth_pattern(self):
+        transport = saturated_transport(capacity=10)
+        transport.run(rounds=200)
+        history = transport.controller.window_history
+        # The window repeatedly rises and halves: it must both exceed
+        # the capacity (probing) and fall back below it.
+        assert max(history[50:]) > 10
+        assert min(history[50:]) < 10
+
+    def test_losses_are_not_retransmitted(self):
+        transport = saturated_transport(capacity=5, queue_size=0)
+        transport.enqueue("s", packets=10)
+        transport.run(rounds=100)
+        # Lost packets are gone: delivered + lost <= enqueued, and the
+        # lost counter is non-zero under sustained overload.
+        assert sum(transport.lost.values()) > 0
+
+    def test_weighted_shares_respected(self):
+        transport = saturated_transport(
+            capacity=12, weights={"gold": 3.0, "silver": 1.0}
+        )
+        transport.run(rounds=400)
+        assert transport.share("gold") == pytest.approx(0.75, abs=0.05)
+        assert transport.share("silver") == pytest.approx(0.25, abs=0.05)
+
+    def test_idle_transport_rounds(self):
+        link = DatagramLink(10)
+        transport = UdpMultiplexedTransport(link)
+        assert transport.run_round() == (0, 0)
+        assert transport.loss_rate() == 0.0
+
+    def test_enqueue_validation(self):
+        transport = UdpMultiplexedTransport(DatagramLink(10))
+        with pytest.raises(ValueError):
+            transport.enqueue("s", packets=0)
+
+    def test_backlog_tracking(self):
+        transport = UdpMultiplexedTransport(DatagramLink(10))
+        transport.enqueue("s", packets=7)
+        assert transport.backlog("s") == 7
+        transport.run_round()
+        assert transport.backlog("s") < 7

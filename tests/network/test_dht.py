@@ -1,0 +1,160 @@
+"""Tests for the DHT substrates (consistent hashing and Chord)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.dht import ChordRing, ConsistentHashRing, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("x") == stable_hash("x")
+
+    def test_spreads_values(self):
+        values = {stable_hash(f"key{i}") for i in range(100)}
+        assert len(values) == 100
+
+    def test_respects_bits(self):
+        assert 0 <= stable_hash("x", bits=8) < 256
+
+
+class TestConsistentHashRing:
+    def test_owner_is_deterministic(self):
+        ring = ConsistentHashRing()
+        ring.add_node("n1")
+        ring.add_node("n2")
+        assert ring.owner("key") == ring.owner("key")
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            ConsistentHashRing().owner("key")
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing()
+        ring.add_node("n1")
+        with pytest.raises(ValueError):
+            ring.add_node("n1")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing().remove_node("ghost")
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing()
+        ring.add_node("only")
+        assert all(ring.owner(f"k{i}") == "only" for i in range(20))
+
+    def test_removal_only_moves_removed_nodes_keys(self):
+        # The defining property of consistent hashing.
+        ring = ConsistentHashRing()
+        for n in ("n1", "n2", "n3", "n4"):
+            ring.add_node(n)
+        keys = [f"key{i}" for i in range(500)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove_node("n3")
+        after = {k: ring.owner(k) for k in keys}
+        for key in keys:
+            if before[key] != "n3":
+                assert after[key] == before[key]
+
+    def test_load_roughly_balanced(self):
+        ring = ConsistentHashRing(replicas=128)
+        for i in range(8):
+            ring.add_node(f"n{i}")
+        keys = [f"key{i}" for i in range(8000)]
+        counts = ring.key_distribution(keys)
+        mean = 1000
+        for node, count in counts.items():
+            assert 0.5 * mean < count < 1.8 * mean, (node, count)
+
+    @given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=5, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_every_key_has_an_owner(self, nodes):
+        ring = ConsistentHashRing(replicas=4)
+        for node in nodes:
+            ring.add_node(node)
+        assert ring.owner("some-key") in nodes
+
+
+class TestChordRing:
+    def make_ring(self, n):
+        ring = ChordRing(m=16)
+        for i in range(n):
+            ring.add_node(f"node{i}")
+        return ring
+
+    def test_lookup_finds_owner(self):
+        ring = self.make_ring(8)
+        node, hops = ring.lookup("mit/quotes")
+        assert node in ring.nodes()
+        assert hops >= 0
+
+    def test_put_get_roundtrip(self):
+        ring = self.make_ring(8)
+        ring.put("mit/quotes", {"location": "n3"})
+        value, hops = ring.get("mit/quotes")
+        assert value == {"location": "n3"}
+
+    def test_get_missing_key_raises(self):
+        ring = self.make_ring(4)
+        with pytest.raises(KeyError):
+            ring.get("nothing/here")
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            ChordRing().lookup("key")
+
+    def test_lookup_consistent_from_any_start(self):
+        ring = self.make_ring(16)
+        owners = {
+            ring.lookup("brown/streams", start_node=start)[0]
+            for start in ring.nodes()
+        }
+        assert len(owners) == 1
+
+    def test_unknown_start_node(self):
+        ring = self.make_ring(4)
+        with pytest.raises(ValueError):
+            ring.lookup("k", start_node="ghost")
+
+    def test_hops_scale_logarithmically(self):
+        # The paper's scalability requirement: lookups must scale with
+        # the number of nodes.  Chord: O(log n) hops on average.
+        for n in (16, 64):
+            ring = self.make_ring(n)
+            for i in range(200):
+                ring.lookup(f"key{i}", start_node=f"node{i % n}")
+            assert ring.mean_hops() <= 2.5 * math.log2(n), (n, ring.mean_hops())
+
+    def test_node_departure_preserves_bindings(self):
+        ring = self.make_ring(8)
+        for i in range(50):
+            ring.put(f"key{i}", i)
+        ring.remove_node("node3")
+        for i in range(50):
+            value, _hops = ring.get(f"key{i}")
+            assert value == i
+
+    def test_join_redistributes_keys(self):
+        ring = self.make_ring(4)
+        for i in range(200):
+            ring.put(f"key{i}", i)
+        ring.add_node("late-joiner")
+        # All keys still resolvable, and total count preserved.
+        assert sum(ring.keys_per_node().values()) == 200
+        for i in range(0, 200, 10):
+            assert ring.get(f"key{i}")[0] == i
+
+    def test_keys_per_node_covers_all_nodes(self):
+        ring = self.make_ring(4)
+        ring.put("a", 1)
+        counts = ring.keys_per_node()
+        assert set(counts) == set(ring.nodes())
+        assert sum(counts.values()) == 1
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            ChordRing(m=0)

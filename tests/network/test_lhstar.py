@@ -1,0 +1,121 @@
+"""Tests for the LH* scalable distributed data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.lhstar import LHStarClient, LHStarFile
+
+
+class TestFileGrowth:
+    def test_starts_with_one_bucket(self):
+        file = LHStarFile()
+        assert file.n_buckets == 1
+        assert file.level == 0
+
+    def test_splits_when_bucket_overflows(self):
+        file = LHStarFile(bucket_capacity=4)
+        for i in range(40):
+            file.insert(f"key{i}", i)
+        assert file.n_buckets > 1
+        assert file.splits_performed == file.n_buckets - 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LHStarFile(bucket_capacity=0)
+
+    def test_level_advances_after_full_round(self):
+        file = LHStarFile(bucket_capacity=2)
+        for i in range(60):
+            file.insert(f"key{i}", i)
+        assert file.level >= 1
+        # Split pointer stays within the current level's range.
+        assert 0 <= file.split_pointer < (1 << file.level)
+
+    def test_all_keys_retrievable_after_splits(self):
+        file = LHStarFile(bucket_capacity=3)
+        for i in range(100):
+            file.insert(f"key{i}", i)
+        for i in range(100):
+            assert file.get_exact(f"key{i}") == i
+        assert len(file) == 100
+
+    def test_missing_key_raises(self):
+        file = LHStarFile()
+        with pytest.raises(KeyError):
+            file.get_exact("ghost")
+
+    def test_keys_placed_by_current_hash(self):
+        file = LHStarFile(bucket_capacity=2)
+        for i in range(50):
+            file.insert(f"key{i}", i)
+        for i in range(50):
+            bucket = file.correct_bucket(f"key{i}")
+            assert f"key{i}" in file.buckets[bucket]
+
+    @given(st.integers(2, 8), st.integers(10, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_no_bucket_wildly_overfull(self, capacity, n_keys):
+        file = LHStarFile(bucket_capacity=capacity)
+        for i in range(n_keys):
+            file.insert(f"k{i}", i)
+        # Splits keep buckets near capacity (hash collisions allow
+        # transient overflow of the just-inserted bucket only).
+        assert all(len(b) <= 3 * capacity + 1 for b in file.buckets)
+
+
+class TestClientImages:
+    def test_fresh_client_on_grown_file_still_resolves(self):
+        file = LHStarFile(bucket_capacity=3)
+        for i in range(200):
+            file.insert(f"key{i}", i)
+        client = LHStarClient(file)  # image (0, 0): maximally stale
+        for i in range(200):
+            value, _hops = client.lookup(f"key{i}")
+            assert value == i
+
+    def test_forwarding_bound(self):
+        """The LH* guarantee: at most two forwardings per lookup."""
+        file = LHStarFile(bucket_capacity=3)
+        for i in range(300):
+            file.insert(f"key{i}", i)
+        client = LHStarClient(file)
+        worst = 0
+        for i in range(300):
+            _value, hops = client.lookup(f"key{i}")
+            worst = max(worst, hops)
+        assert worst <= 2
+
+    def test_iam_improves_the_image(self):
+        file = LHStarFile(bucket_capacity=2)
+        for i in range(150):
+            file.insert(f"key{i}", i)
+        client = LHStarClient(file)
+        for i in range(150):
+            client.lookup(f"key{i}")
+        assert client.image_level > 0
+        # A warmed client misaddresses less than a cold one.
+        cold = LHStarClient(file)
+        for i in range(150):
+            cold.lookup(f"key{i}")
+        warmed_extra = 0
+        for i in range(150):
+            _v, hops = client.lookup(f"key{i}")
+            warmed_extra += hops
+        assert warmed_extra <= cold.total_forwardings
+
+    def test_lookup_missing_key(self):
+        file = LHStarFile()
+        file.insert("present", 1)
+        client = LHStarClient(file)
+        with pytest.raises(KeyError):
+            client.lookup("absent")
+
+    def test_mean_forwardings_bounded(self):
+        file = LHStarFile(bucket_capacity=4)
+        for i in range(400):
+            file.insert(f"key{i}", i)
+        client = LHStarClient(file)
+        for i in range(400):
+            client.lookup(f"key{i}")
+        assert client.mean_forwardings() <= 2.0

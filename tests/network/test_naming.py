@@ -1,0 +1,90 @@
+"""Tests for the global namespace and entity names."""
+
+import pytest
+
+from repro.network.naming import EntityName, Namespace, NamingError, parse_entity_name
+
+
+class TestEntityName:
+    def test_str_roundtrip(self):
+        name = EntityName("brown", "quotes")
+        assert str(name) == "brown/quotes"
+        assert parse_entity_name("brown/quotes") == name
+
+    def test_rejects_empty_parts(self):
+        with pytest.raises(NamingError):
+            EntityName("", "x")
+        with pytest.raises(NamingError):
+            EntityName("p", "")
+
+    def test_rejects_slash_in_parts(self):
+        with pytest.raises(NamingError):
+            EntityName("a/b", "x")
+
+    def test_parse_requires_separator(self):
+        with pytest.raises(NamingError):
+            parse_entity_name("no-separator")
+
+    def test_hashable_and_ordered(self):
+        a = EntityName("a", "x")
+        b = EntityName("b", "x")
+        assert a < b
+        assert len({a, b, EntityName("a", "x")}) == 2
+
+
+class TestNamespace:
+    def test_participant_registration(self):
+        ns = Namespace()
+        ns.register_participant("mit")
+        assert ns.is_participant("mit")
+        assert ns.participants() == ["mit"]
+
+    def test_duplicate_participant_rejected(self):
+        ns = Namespace()
+        ns.register_participant("mit")
+        with pytest.raises(NamingError):
+            ns.register_participant("mit")
+
+    def test_define_and_lookup(self):
+        ns = Namespace()
+        ns.register_participant("mit")
+        name = EntityName("mit", "sensors")
+        ns.define(name, "stream")
+        assert name in ns
+        assert ns.kind_of(name) == "stream"
+
+    def test_define_requires_known_participant(self):
+        ns = Namespace()
+        with pytest.raises(NamingError):
+            ns.define(EntityName("ghost", "x"), "stream")
+
+    def test_define_rejects_duplicates(self):
+        ns = Namespace()
+        ns.register_participant("mit")
+        ns.define(EntityName("mit", "x"), "stream")
+        with pytest.raises(NamingError):
+            ns.define(EntityName("mit", "x"), "schema")
+
+    def test_unknown_kind_rejected(self):
+        ns = Namespace()
+        ns.register_participant("mit")
+        with pytest.raises(NamingError):
+            ns.define(EntityName("mit", "x"), "table")
+
+    def test_same_entity_name_in_different_participants(self):
+        # The namespace is per-participant: both can define "quotes".
+        ns = Namespace()
+        ns.register_participant("mit")
+        ns.register_participant("brown")
+        ns.define(EntityName("mit", "quotes"), "stream")
+        ns.define(EntityName("brown", "quotes"), "stream")
+        assert len(ns) == 2
+
+    def test_entities_of_filters_by_kind(self):
+        ns = Namespace()
+        ns.register_participant("mit")
+        ns.define(EntityName("mit", "s1"), "stream")
+        ns.define(EntityName("mit", "q1"), "query")
+        streams = list(ns.entities_of("mit", kind="stream"))
+        assert streams == [EntityName("mit", "s1")]
+        assert len(list(ns.entities_of("mit"))) == 2

@@ -1,0 +1,150 @@
+"""Tests for the overlay network: nodes, links, simulated delivery."""
+
+import pytest
+
+from repro.network.overlay import Link, Message, Overlay
+from repro.sim import Simulator
+
+
+def make_overlay(**kwargs):
+    sim = Simulator()
+    overlay = Overlay(sim, **kwargs)
+    overlay.add_node("a")
+    overlay.add_node("b")
+    return sim, overlay
+
+
+class TestMessage:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Message("tuples", None, size=0)
+
+
+class TestLink:
+    def test_transfer_schedule_serialization_plus_latency(self):
+        link = Link("a", "b", bandwidth=100.0, latency=1.0)
+        end, delivery = link.transfer_schedule(now=0.0, size=50)
+        assert end == pytest.approx(0.5)
+        assert delivery == pytest.approx(1.5)
+
+    def test_busy_link_queues_messages(self):
+        link = Link("a", "b", bandwidth=100.0, latency=0.0)
+        link.busy_until = 2.0
+        end, delivery = link.transfer_schedule(now=0.0, size=100)
+        assert end == pytest.approx(3.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth=0)
+        with pytest.raises(ValueError):
+            Link("a", "b", latency=-1)
+
+    def test_utilization(self):
+        link = Link("a", "b", bandwidth=100.0)
+        link.bytes_sent = 50
+        assert link.utilization(1.0) == pytest.approx(0.5)
+        assert link.utilization(0.0) == 0.0
+
+
+class TestOverlayDelivery:
+    def test_message_delivered_with_delay(self):
+        sim, overlay = make_overlay(default_bandwidth=1000.0, default_latency=0.5)
+        received = []
+        overlay.node("b").on("tuples", received.append)
+        overlay.send("a", "b", Message("tuples", "hello", size=500))
+        sim.run()
+        assert len(received) == 1
+        assert sim.now == pytest.approx(0.5 + 0.5)  # serialization + latency
+
+    def test_fifo_per_link(self):
+        sim, overlay = make_overlay(default_bandwidth=100.0, default_latency=0.0)
+        received = []
+        overlay.node("b").on("tuples", lambda m: received.append(m.payload))
+        overlay.send("a", "b", Message("tuples", "first", size=100))
+        overlay.send("a", "b", Message("tuples", "second", size=100))
+        sim.run()
+        assert received == ["first", "second"]
+        assert sim.now == pytest.approx(2.0)  # serialized back-to-back
+
+    def test_unknown_node_rejected(self):
+        _sim, overlay = make_overlay()
+        with pytest.raises(KeyError):
+            overlay.send("a", "ghost", Message("tuples", None))
+
+    def test_duplicate_node_rejected(self):
+        _sim, overlay = make_overlay()
+        with pytest.raises(ValueError):
+            overlay.add_node("a")
+
+    def test_implicit_link_creation(self):
+        _sim, overlay = make_overlay()
+        link = overlay.link("a", "b")
+        assert link.bandwidth == overlay.default_bandwidth
+        assert ("a", "b") in overlay.links
+
+    def test_explicit_link_overrides_defaults(self):
+        sim, overlay = make_overlay()
+        overlay.add_link("a", "b", bandwidth=10.0, latency=2.0)
+        assert overlay.link("a", "b").bandwidth == 10.0
+        # Symmetric twin created too.
+        assert overlay.link("b", "a").bandwidth == 10.0
+
+    def test_link_stats_accumulate(self):
+        sim, overlay = make_overlay()
+        overlay.node("b").on_any(lambda m: None)
+        overlay.send("a", "b", Message("x", None, size=100))
+        overlay.send("a", "b", Message("x", None, size=200))
+        sim.run()
+        link = overlay.link("a", "b")
+        assert link.messages_sent == 2
+        assert link.bytes_sent == 300
+
+
+class TestHandlers:
+    def test_handler_dispatch_by_kind(self):
+        sim, overlay = make_overlay()
+        got = {"tuples": [], "control": []}
+        overlay.node("b").on("tuples", lambda m: got["tuples"].append(m))
+        overlay.node("b").on("control", lambda m: got["control"].append(m))
+        overlay.send("a", "b", Message("control", "stop"))
+        sim.run()
+        assert len(got["control"]) == 1
+        assert got["tuples"] == []
+
+    def test_missing_handler_raises(self):
+        sim, overlay = make_overlay()
+        overlay.send("a", "b", Message("mystery", None))
+        with pytest.raises(LookupError):
+            sim.run()
+
+    def test_default_handler_catches_unknown(self):
+        sim, overlay = make_overlay()
+        caught = []
+        overlay.node("b").on_any(caught.append)
+        overlay.send("a", "b", Message("mystery", None))
+        sim.run()
+        assert len(caught) == 1
+
+
+class TestFailures:
+    def test_failed_node_drops_messages(self):
+        sim, overlay = make_overlay()
+        received = []
+        overlay.node("b").on("tuples", received.append)
+        overlay.node("b").fail()
+        overlay.send("a", "b", Message("tuples", "lost"))
+        sim.run()
+        assert received == []
+        assert overlay.messages_dropped == 1
+
+    def test_recovered_node_receives_again(self):
+        sim, overlay = make_overlay()
+        received = []
+        overlay.node("b").on("tuples", received.append)
+        overlay.node("b").fail()
+        overlay.send("a", "b", Message("tuples", "lost"))
+        sim.run()
+        overlay.node("b").recover()
+        overlay.send("a", "b", Message("tuples", "found"))
+        sim.run()
+        assert [m.payload for m in received] == ["found"]

@@ -1,0 +1,103 @@
+"""Tests for multi-hop overlay routing over explicit topologies."""
+
+import pytest
+
+from repro.network.overlay import Message, Overlay
+from repro.sim import Simulator
+
+
+def line_topology(n=4, bandwidth=1000.0, latency=0.1):
+    """a - b - c - d ... chain with symmetric explicit links."""
+    sim = Simulator()
+    overlay = Overlay(sim, implicit_links=False)
+    names = [chr(ord("a") + i) for i in range(n)]
+    for name in names:
+        overlay.add_node(name)
+    for left, right in zip(names, names[1:]):
+        overlay.add_link(left, right, bandwidth=bandwidth, latency=latency)
+    return sim, overlay, names
+
+
+class TestShortestPath:
+    def test_direct_neighbors(self):
+        _sim, overlay, _names = line_topology()
+        assert overlay.shortest_path("a", "b") == ["a", "b"]
+
+    def test_multi_hop(self):
+        _sim, overlay, _names = line_topology()
+        assert overlay.shortest_path("a", "d") == ["a", "b", "c", "d"]
+
+    def test_self_path(self):
+        _sim, overlay, _names = line_topology()
+        assert overlay.shortest_path("a", "a") == ["a"]
+
+    def test_unreachable(self):
+        sim = Simulator()
+        overlay = Overlay(sim, implicit_links=False)
+        overlay.add_node("x")
+        overlay.add_node("y")
+        assert overlay.shortest_path("x", "y") is None
+
+    def test_prefers_fewest_hops(self):
+        sim = Simulator()
+        overlay = Overlay(sim, implicit_links=False)
+        for name in ("a", "b", "c"):
+            overlay.add_node(name)
+        overlay.add_link("a", "b")
+        overlay.add_link("b", "c")
+        overlay.add_link("a", "c")  # shortcut
+        assert overlay.shortest_path("a", "c") == ["a", "c"]
+
+
+class TestRelayedDelivery:
+    def test_message_relayed_end_to_end(self):
+        sim, overlay, _names = line_topology(latency=0.1)
+        received = []
+        overlay.node("d").on("tuples", received.append)
+        overlay.send("a", "d", Message("tuples", "hello", size=100))
+        sim.run()
+        assert len(received) == 1
+        # Three hops: 3 * (100/1000 serialization + 0.1 latency).
+        assert sim.now == pytest.approx(3 * (0.1 + 0.1))
+        assert overlay.messages_relayed == 2
+
+    def test_each_hop_charges_its_link(self):
+        sim, overlay, _names = line_topology()
+        overlay.node("d").on_any(lambda m: None)
+        overlay.send("a", "d", Message("x", None, size=100))
+        sim.run()
+        for pair in (("a", "b"), ("b", "c"), ("c", "d")):
+            assert overlay.links[pair].bytes_sent == 100
+
+    def test_no_path_raises(self):
+        sim = Simulator()
+        overlay = Overlay(sim, implicit_links=False)
+        overlay.add_node("x")
+        overlay.add_node("y")
+        with pytest.raises(KeyError, match="no path"):
+            overlay.send("x", "y", Message("x", None))
+
+    def test_implicit_mode_never_relays(self):
+        sim = Simulator()
+        overlay = Overlay(sim)  # full mesh
+        for name in ("a", "b", "c"):
+            overlay.add_node(name)
+        overlay.node("c").on_any(lambda m: None)
+        overlay.send("a", "c", Message("x", None))
+        sim.run()
+        assert overlay.messages_relayed == 0
+
+    def test_failed_relay_swallows_message(self):
+        sim, overlay, _names = line_topology()
+        received = []
+        overlay.node("d").on("tuples", received.append)
+        overlay.node("b").fail()
+        overlay.send("a", "d", Message("tuples", "lost"))
+        sim.run()
+        assert received == []
+        assert overlay.messages_dropped == 1
+
+    def test_explicit_link_mode_blocks_link_autocreate(self):
+        sim, overlay, _names = line_topology()
+        with pytest.raises(KeyError, match="implicit links disabled"):
+            overlay.link("a", "d")

@@ -1,0 +1,123 @@
+"""Tests for stream transport: multiplexed WFQ vs per-stream connections."""
+
+import pytest
+
+from repro.network.transport import (
+    MultiplexedTransport,
+    PerStreamTransport,
+    StreamMessage,
+)
+
+
+def saturate(transport, streams, message_size=100, count=200):
+    for i in range(count):
+        for stream in streams:
+            transport.enqueue(StreamMessage(stream, message_size))
+    return transport
+
+
+class TestMultiplexedTransport:
+    def test_single_connection(self):
+        transport = MultiplexedTransport(bandwidth=1000.0)
+        assert transport.stats.connections_used == 1
+
+    def test_bandwidth_shared_by_weights(self):
+        # Section 4.3: "bandwidth between the nodes to be shared amongst
+        # the different streams according to a prescribed set of weights".
+        transport = MultiplexedTransport(
+            bandwidth=10_000.0,
+            weights={"gold": 3.0, "silver": 1.0},
+            framing_overhead=0,
+        )
+        saturate(transport, ["gold", "silver"], count=500)
+        stats = transport.run(duration=5.0)
+        assert stats.share("gold") == pytest.approx(0.75, abs=0.03)
+        assert stats.share("silver") == pytest.approx(0.25, abs=0.03)
+
+    def test_equal_weights_equal_shares(self):
+        transport = MultiplexedTransport(bandwidth=10_000.0, framing_overhead=0)
+        saturate(transport, ["a", "b"], count=500)
+        stats = transport.run(duration=5.0)
+        assert stats.share("a") == pytest.approx(0.5, abs=0.03)
+
+    def test_idle_stream_does_not_waste_bandwidth(self):
+        transport = MultiplexedTransport(
+            bandwidth=1000.0, weights={"busy": 1.0, "idle": 9.0}
+        )
+        saturate(transport, ["busy"], count=50)
+        stats = transport.run(duration=100.0)
+        assert stats.delivered_messages.get("busy") == 50
+        assert "idle" not in stats.delivered_bytes
+
+    def test_framing_overhead_counted(self):
+        transport = MultiplexedTransport(bandwidth=1e6, framing_overhead=4)
+        transport.enqueue(StreamMessage("s", 100))
+        stats = transport.run(duration=1.0)
+        assert stats.overhead_bytes == 4
+
+    def test_respects_duration(self):
+        transport = MultiplexedTransport(bandwidth=100.0, framing_overhead=0)
+        saturate(transport, ["s"], message_size=100, count=10)
+        stats = transport.run(duration=2.5)  # fits exactly 2 messages
+        assert stats.delivered_messages["s"] == 2
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            MultiplexedTransport(bandwidth=0)
+
+
+class TestPerStreamTransport:
+    def test_connection_per_stream(self):
+        transport = PerStreamTransport(bandwidth=1000.0)
+        saturate(transport, ["a", "b", "c"], count=1)
+        assert transport.stats.connections_used == 3
+
+    def test_setup_overhead_grows_with_streams(self):
+        # Section 4.3: per-connection overhead "becomes prohibitive" as
+        # the number of streams grows.
+        few = PerStreamTransport(bandwidth=1000.0)
+        many = PerStreamTransport(bandwidth=1000.0)
+        saturate(few, ["s0"], count=1)
+        saturate(many, [f"s{i}" for i in range(50)], count=1)
+        assert many.stats.overhead_bytes > few.stats.overhead_bytes * 10
+
+    def test_equal_sharing_ignores_any_weights(self):
+        # TCP-like fairness: both streams get ~half, no weighting knob.
+        transport = PerStreamTransport(bandwidth=10_000.0, header_overhead=0)
+        saturate(transport, ["gold", "silver"], count=500)
+        stats = transport.run(duration=5.0)
+        assert stats.share("gold") == pytest.approx(0.5, abs=0.03)
+
+    def test_all_messages_eventually_delivered(self):
+        transport = PerStreamTransport(bandwidth=1e6)
+        saturate(transport, ["a", "b"], count=10)
+        stats = transport.run(duration=100.0)
+        assert stats.delivered_messages == {"a": 10, "b": 10}
+
+    def test_idle_connection_frees_share(self):
+        transport = PerStreamTransport(bandwidth=1000.0, header_overhead=0)
+        transport.enqueue(StreamMessage("short", 100))
+        for _ in range(20):
+            transport.enqueue(StreamMessage("long", 100))
+        stats = transport.run(duration=10.0)
+        # After "short" drains, "long" gets the whole pipe: everything fits.
+        assert stats.delivered_messages["long"] == 20
+
+    def test_respects_duration(self):
+        transport = PerStreamTransport(bandwidth=100.0, header_overhead=0)
+        saturate(transport, ["s"], message_size=100, count=10)
+        stats = transport.run(duration=2.0)
+        assert stats.delivered_messages["s"] == 2
+
+
+class TestComparison:
+    def test_multiplexed_has_lower_overhead_at_scale(self):
+        streams = [f"s{i}" for i in range(30)]
+        mux = MultiplexedTransport(bandwidth=1e6)
+        per = PerStreamTransport(bandwidth=1e6)
+        for transport in (mux, per):
+            saturate(transport, streams, count=5)
+            transport.run(duration=10.0)
+        assert mux.stats.overhead_bytes < per.stats.overhead_bytes
+        assert mux.stats.connections_used == 1
+        assert per.stats.connections_used == 30

@@ -1,0 +1,103 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "first")
+        sim.schedule(1.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule_at(5.0, fired.append, "x")
+        sim.run()
+        assert sim.now == 5.0 and fired == ["x"]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        order = []
+
+        def chain(n):
+            order.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert order == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRunBounds:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_advances_clock_when_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(3.0, lambda: None)
+        assert sim.peek_time() == 3.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

@@ -1,0 +1,131 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import (
+    BurstySource,
+    NetworkFlowSource,
+    PoissonSource,
+    SensorSource,
+    StockQuoteSource,
+    UniformSource,
+    zipf_weights,
+)
+
+
+def row(i):
+    return {"i": i}
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert sum(zipf_weights(10, 1.0)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.5)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert all(w == pytest.approx(0.25) for w in weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestUniformSource:
+    def test_count_and_spacing(self):
+        tuples = UniformSource(10.0, row).generate(duration=2.0)
+        assert len(tuples) == 20
+        assert tuples[1].timestamp - tuples[0].timestamp == pytest.approx(0.1)
+
+    def test_start_time(self):
+        tuples = UniformSource(10.0, row).generate(duration=0.5, start_time=100.0)
+        assert tuples[0].timestamp == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformSource(0, row)
+
+
+class TestPoissonSource:
+    def test_rate_approximately_respected(self):
+        tuples = PoissonSource(100.0, row, seed=7).generate(duration=10.0)
+        assert 800 < len(tuples) < 1200
+
+    def test_deterministic_given_seed(self):
+        a = PoissonSource(50.0, row, seed=3).generate(duration=2.0)
+        b = PoissonSource(50.0, row, seed=3).generate(duration=2.0)
+        assert [t.timestamp for t in a] == [t.timestamp for t in b]
+
+    def test_timestamps_monotone(self):
+        tuples = PoissonSource(50.0, row, seed=1).generate(duration=2.0)
+        stamps = [t.timestamp for t in tuples]
+        assert stamps == sorted(stamps)
+
+
+class TestBurstySource:
+    def test_burst_windows_denser(self):
+        source = BurstySource(
+            base_rate=10.0, burst_rate=200.0, period=1.0, duty=0.3,
+            make_row=row, seed=5,
+        )
+        tuples = source.generate(duration=10.0)
+        in_burst = sum(1 for t in tuples if (t.timestamp % 1.0) < 0.3)
+        out_of_burst = len(tuples) - in_burst
+        assert in_burst > 3 * out_of_burst
+
+    def test_rate_at(self):
+        source = BurstySource(1.0, 100.0, period=2.0, duty=0.5, make_row=row)
+        assert source.rate_at(0.1) == 100.0
+        assert source.rate_at(1.5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstySource(1.0, 10.0, period=1.0, duty=1.5, make_row=row)
+
+
+class TestDomainSources:
+    def test_sensor_fields_and_determinism(self):
+        a = SensorSource(5, rate=50.0, skew=1.0, seed=2).generate(1.0)
+        b = SensorSource(5, rate=50.0, skew=1.0, seed=2).generate(1.0)
+        assert [t.values for t in a] == [t.values for t in b]
+        assert set(a[0].values) == {"sensor", "value"}
+        assert all(0 <= t["sensor"] < 5 for t in a)
+
+    def test_sensor_skew_concentrates_traffic(self):
+        tuples = SensorSource(10, rate=100.0, skew=2.0, seed=1).generate(10.0)
+        top = sum(1 for t in tuples if t["sensor"] == 0)
+        assert top > len(tuples) * 0.4
+
+    def test_stock_quotes(self):
+        source = StockQuoteSource(["IBM", "HPQ", "SUNW"], rate=100.0, seed=4)
+        tuples = source.generate(1.0)
+        assert len(tuples) == 100
+        assert set(tuples[0].values) == {"sym", "px", "size"}
+        assert all(t["px"] > 0 for t in tuples)
+
+    def test_network_flows(self):
+        tuples = NetworkFlowSource(8, rate=100.0, seed=6).generate(1.0)
+        assert len(tuples) == 100
+        assert set(tuples[0].values) == {"src", "dst", "bytes", "proto"}
+        assert all(t["bytes"] > 0 for t in tuples)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            SensorSource(0, rate=1.0)
+        with pytest.raises(ValueError):
+            StockQuoteSource([], rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkFlowSource(1, rate=1.0)
+
+    @given(st.integers(1, 50), st.floats(0.0, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_zipf_weights_always_valid(self, n, s):
+        weights = zipf_weights(n, s)
+        assert len(weights) == n
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
