@@ -1,0 +1,90 @@
+"""E16 — Section 6: randomized fault-injection sweep (simulation testing).
+
+FoundationDB-style validation of the high-availability machinery: one
+master seed derives a large batch of crash/partition schedules over
+mixed topologies (linear, deep, diamond) and k in {1, 2}; every
+schedule must uphold the paper's invariants — no committed output lost
+or duplicated with <= k concurrent failures, truncation never discards
+needed entries, recovery converges once partitions heal.  A companion
+sweep drives the overlay world's heartbeat detector through crashes,
+clock skew and heartbeat-drop windows.
+
+The headline numbers are survival statistics: faults injected versus
+invariant violations (must be zero), plus the recovery work the
+schedules induced.
+"""
+
+from repro.sim.invariants import assert_no_violations
+from repro.sim.scenarios import run_overlay_scenario, sweep_chain_scenarios
+
+MASTER_SEED = 20030112
+N_SCENARIOS = 100
+
+
+def run_sweep(n: int = N_SCENARIOS):
+    return sweep_chain_scenarios(MASTER_SEED, n=n)
+
+
+def test_e16_chain_fault_sweep(benchmark):
+    sweep = run_sweep()
+    by_topology: dict[str, list] = {}
+    for result in sweep.results:
+        by_topology.setdefault(result.spec.topology, []).append(result)
+
+    print(f"\nE16: randomized fault sweep ({sweep.n_scenarios} schedules, "
+          f"master seed {MASTER_SEED})")
+    print("  topology  runs  crashes  partitions  replayed  truncated  violations")
+    for topology, results in sorted(by_topology.items()):
+        crashes = sum(r.stats["crashes"] for r in results)
+        partitions = sum(r.stats["partitions"] for r in results)
+        replayed = sum(r.stats["tuples_replayed"] for r in results)
+        truncated = sum(r.stats["tuples_truncated"] for r in results)
+        violations = sum(len(r.violations) for r in results)
+        print(f"  {topology:9s} {len(results):4d} {crashes:8d} {partitions:11d} "
+              f"{replayed:9d} {truncated:10d} {violations:11d}")
+    print(f"  total recovery passes: {sweep.total('recoveries')}, "
+          f"tuples reprocessed: {sweep.total('tuples_reprocessed')}, "
+          f"duplicates dropped: {sweep.total('duplicates_dropped')}")
+    print(f"  truncations live-checked: {sweep.total('truncations_checked')}, "
+          f"delivered tuples: {sweep.total('delivered')}")
+
+    for result in sweep.results:
+        assert_no_violations(result.violations, result.spec.describe())
+    assert sweep.total("crashes") > 0 and sweep.total("partitions") > 0
+
+    benchmark(run_sweep, 10)
+
+
+def test_e16_overlay_fault_sweep(benchmark):
+    seeds = range(1, 13)
+    print("\nE16b: overlay heartbeat sweep (crash + skew + drop windows)")
+    print("  seed  crashes  detections  msgs faulted  heartbeats  violations")
+    results = [run_overlay_scenario(seed=s) for s in seeds]
+    for result in results:
+        print(f"  {result.seed:4d} {result.stats['crashes']:8d} "
+              f"{result.stats['detections']:11d} "
+              f"{result.stats['messages_faulted']:13d} "
+              f"{result.stats['heartbeats_sent']:11d} "
+              f"{len(result.violations):11d}")
+        assert_no_violations(result.violations, f"overlay seed {result.seed}")
+    assert sum(r.stats["crashes"] for r in results) > 0
+    assert sum(r.stats["messages_faulted"] for r in results) > 0
+
+    benchmark(run_overlay_scenario, 1)
+
+
+def test_e16_replay_stability(benchmark):
+    """Replaying any schedule reproduces its event trace byte-for-byte."""
+    from repro.sim.scenarios import generate_specs, run_chain_scenario
+
+    specs = generate_specs(MASTER_SEED, 5)
+    print("\nE16c: schedule replay stability")
+    for spec in specs:
+        first = run_chain_scenario(spec)
+        second = run_chain_scenario(spec)
+        identical = first.trace_text() == second.trace_text()
+        print(f"  seed {spec.seed:>10d} {spec.topology:8s} "
+              f"trace {len(first.trace):4d} lines  identical: {identical}")
+        assert identical
+
+    benchmark(run_chain_scenario, specs[0])

@@ -48,10 +48,14 @@ class EWMA:
 class RateEstimator:
     """Sliding-window event rate (events/second of virtual time).
 
-    Bounded memory: at most ``capacity`` recent event times are kept;
-    if more events than that land inside the window, the estimate
-    saturates low (documented behaviour — size the capacity to the
-    rates you expect).
+    Bounded memory: at most ``capacity`` events are retained; if more
+    events than that land inside the window, the estimate saturates low
+    (documented behaviour — size the capacity to the rates you expect).
+
+    Bookkeeping is counter-based: events recorded at the same instant
+    collapse into one ``(timestamp, count)`` bucket, so
+    ``record(now, count=n)`` is O(1) rather than O(n) appends, and the
+    retained-event total is maintained incrementally.
     """
 
     def __init__(self, window: float = 1.0, capacity: int = 4096):
@@ -60,21 +64,39 @@ class RateEstimator:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.window = window
-        self._events: deque[float] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self._buckets: deque[list] = deque()  # [timestamp, count] pairs
+        self._total = 0
 
     def record(self, now: float, count: int = 1) -> None:
-        for _ in range(count):
-            self._events.append(now)
+        if count < 1:
+            return
+        if self._buckets and self._buckets[-1][0] == now:
+            self._buckets[-1][1] += count
+        else:
+            self._buckets.append([now, count])
+        self._total += count
+        # Capacity saturation: shed the oldest events first.
+        while self._total > self.capacity:
+            excess = self._total - self.capacity
+            oldest = self._buckets[0]
+            if oldest[1] <= excess:
+                self._total -= oldest[1]
+                self._buckets.popleft()
+            else:
+                oldest[1] -= excess
+                self._total -= excess
 
     def rate(self, now: float) -> float:
         """Events per second over the trailing window ending at ``now``."""
         cutoff = now - self.window
-        while self._events and self._events[0] < cutoff:
-            self._events.popleft()
-        return len(self._events) / self.window
+        while self._buckets and self._buckets[0][0] < cutoff:
+            self._total -= self._buckets[0][1]
+            self._buckets.popleft()
+        return self._total / self.window
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._total
 
 
 def summarize_network(network: QueryNetwork) -> str:

@@ -53,6 +53,12 @@ class HeartbeatMonitor:
         self.system = system
         self.interval = interval
         self.miss_threshold = miss_threshold
+        # Per-node clock skew (virtual seconds): a skewed node sends its
+        # heartbeats late by its skew.  Fault plans inject skew to test
+        # the detector's tolerance — skew beyond
+        # ``interval * (miss_threshold - 1)`` provokes false positives,
+        # which the recovery path must absorb (the node later "revives").
+        self.clock_skew: dict[str, float] = {}
         self._last_heard: dict[tuple[str, str], float] = {}
         self._declared: set[str] = set()
         self._callbacks: list[DetectionCallback] = []
@@ -95,20 +101,38 @@ class HeartbeatMonitor:
             self._last_heard.setdefault(pair, now)
         self.system.sim.schedule(self.interval, self._tick)
 
+    def set_skew(self, node: str, skew: float) -> None:
+        """Set (or clear, with 0.0) a node's heartbeat clock skew."""
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        if skew:
+            self.clock_skew[node] = skew
+        else:
+            self.clock_skew.pop(node, None)
+
     def _tick(self) -> None:
         now = self.system.sim.now
         for watcher, watched in self.watch_pairs():
             self._last_heard.setdefault((watcher, watched), now)
             node = self.system.nodes[watched]
             if not node.failed:
-                message = Message(
-                    "heartbeat", {"from": watched, "to": watcher},
-                    size=self.HEARTBEAT_SIZE,
-                )
-                self.system.overlay.send(watched, watcher, message)
-                self.heartbeats_sent += 1
+                skew = self.clock_skew.get(watched, 0.0)
+                if skew > 0:
+                    self.system.sim.schedule(skew, self._send_heartbeat, watched, watcher)
+                else:
+                    self._send_heartbeat(watched, watcher)
         self._check_staleness(now)
         self.system.sim.schedule(self.interval, self._tick)
+
+    def _send_heartbeat(self, watched: str, watcher: str) -> None:
+        if self.system.nodes[watched].failed:
+            return  # crashed between the tick and its skewed send time
+        message = Message(
+            "heartbeat", {"from": watched, "to": watcher},
+            size=self.HEARTBEAT_SIZE,
+        )
+        self.system.overlay.send(watched, watcher, message)
+        self.heartbeats_sent += 1
 
     def _on_heartbeat(self, message: Message) -> None:
         watched = str(message.payload["from"])

@@ -64,6 +64,10 @@ class AuroraNode:
         self.tuples_processed = 0
         self.failed = False
         self._work_scheduled = False
+        # Lifecycle observers: callbacks fired as (event, node_name, time)
+        # on "fail"/"recover".  The fault injector and invariant
+        # checkers subscribe here to build the replayable event trace.
+        self._lifecycle_hooks: list = []
 
     # -- ingress --------------------------------------------------------------
 
@@ -233,16 +237,27 @@ class AuroraNode:
 
     # -- failures (Section 6) ----------------------------------------------------------
 
+    def on_lifecycle(self, callback) -> None:
+        """Register a callback fired as ``(event, name, time)`` on
+        "fail"/"recover" transitions."""
+        self._lifecycle_hooks.append(callback)
+
+    def _notify(self, event: str) -> None:
+        for callback in self._lifecycle_hooks:
+            callback(event, self.name, self.system.sim.now)
+
     def fail(self) -> None:
         """Crash-stop: stop processing and drop all traffic."""
         self.failed = True
         self.overlay_node.fail()
+        self._notify("fail")
 
     def recover(self) -> None:
         self.failed = False
         self.overlay_node.recover()
         self.busy_until = self.system.sim.now
         self.kick()
+        self._notify("recover")
 
     def __repr__(self) -> str:
         state = "failed" if self.failed else "up"

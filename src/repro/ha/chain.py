@@ -171,14 +171,21 @@ class HAServer:
         # duplicate suppression is content-based (a production system
         # would bound this with watermarks; the simulation keeps it all).
         self._seen_keys: dict[str, set[tuple]] = {}
-        # Absorption watermarks: per origin, the highest ``high`` seq
-        # seen here.  Recovery uses the *downstream* server's absorbed
-        # map to pick where replay must start.
-        self.absorbed: dict[str, int] = {}
+        # Absorption watermarks, per *sender*: for each input edge, the
+        # highest ``high`` seq per origin seen on that edge.  Recovery
+        # uses the *downstream* server's absorbed map to pick where
+        # replay must start — keyed by sender because on a branching
+        # DAG another branch may carry an origin's watermark far past
+        # what ever flowed through the failed sender.
+        self.absorbed: dict[str, dict[str, int]] = {}
         self.failed = False
         self.tuples_processed = 0
         self.duplicates_dropped = 0
         self.tuples_truncated = 0
+        # Observation hook: called as (server, below, dropped_entries)
+        # just before entries leave the output log.  Invariant checkers
+        # (repro.sim.invariants) use it to verify truncation safety.
+        self.truncate_hook: Callable[["HAServer", int, list], None] | None = None
 
     def op_templates(self) -> list[ServerOp]:
         """Fresh copies of this server's pipeline (for rebuild/replay)."""
@@ -212,7 +219,9 @@ class HAServer:
             self.last_received[sender] = sender_seq
         seen_keys.add(key)
         self.last_processed = latest_lineage(self.last_processed, tup.lineage)
-        self.absorbed = latest_lineage(self.absorbed, tup.high)
+        self.absorbed[sender] = latest_lineage(
+            self.absorbed.get(sender, {}), tup.high
+        )
         self.tuples_processed += 1
         outputs = self._run_pipeline(tup)
         logged = []
@@ -253,12 +262,14 @@ class HAServer:
 
     def truncate(self, below: int) -> int:
         """Discard output-log entries with seq < below; returns the count."""
-        dropped = 0
+        dropped_entries = []
         while self.output_log and self.output_log[0][0] < below:
+            dropped_entries.append(self.output_log[0])
             self.output_log.popleft()
-            dropped += 1
-        self.tuples_truncated += dropped
-        return dropped
+        if dropped_entries and self.truncate_hook is not None:
+            self.truncate_hook(self, below, dropped_entries)
+        self.tuples_truncated += len(dropped_entries)
+        return len(dropped_entries)
 
     def log_size(self) -> int:
         return len(self.output_log)
@@ -341,8 +352,17 @@ class ServerChain:
         self.ack_messages = 0
         self.heartbeats_sent = 0
         self.flow_round = 0
-        # Acks collected during the current flow round: origin -> floors.
-        self._pending_acks: dict[str, list[int]] = {}
+        # Acks collected during the current flow round:
+        # origin -> [(recorded_at, floor), ...].
+        self._pending_acks: dict[str, list[tuple[str, int]]] = {}
+        # Partitioned edges: traffic queues up in_flight but pump (and
+        # the flow protocol) will not cross them until they heal.
+        self.blocked_edges: set[tuple[str, str]] = set()
+        # Wire-level observation/drop hook: called as (src, dst, tup)
+        # on every transmit; returning False loses the tuple on the
+        # wire (counted in wire_drops).  None means deliver everything.
+        self.transmit_hook: Callable[[str, str, HATuple], bool] | None = None
+        self.wire_drops = 0
 
     # -- construction -------------------------------------------------------------
 
@@ -420,20 +440,49 @@ class ServerChain:
         return tup
 
     def transmit(self, src: str, dst: str, tup: HATuple) -> None:
+        if self.transmit_hook is not None and not self.transmit_hook(src, dst, tup):
+            self.wire_drops += 1
+            return
+        if dst in self.servers and self.servers[dst].failed:
+            # The receiver is down: the connection fails and the tuple
+            # is lost on the wire (upstream backup replays it after
+            # recovery).  Queueing it instead would let it sit on a
+            # partitioned link and arrive *ahead* of the replay,
+            # tripping the receiver's in-order duplicate filter.
+            self.data_messages += 1
+            return
         self.in_flight[(src, dst)].append(tup)
         self.data_messages += 1
+
+    # -- partitions (fault injection) ----------------------------------------------
+
+    def block_edge(self, src: str, dst: str) -> None:
+        """Partition one edge: in-flight traffic waits until it heals."""
+        if (src, dst) not in self.in_flight:
+            raise KeyError(f"unknown edge {src!r} -> {dst!r}")
+        self.blocked_edges.add((src, dst))
+
+    def unblock_edge(self, src: str, dst: str) -> None:
+        """Heal a partitioned edge (queued traffic flows on next pump)."""
+        self.blocked_edges.discard((src, dst))
+
+    def heal_all(self) -> None:
+        self.blocked_edges.clear()
 
     def pump(self) -> int:
         """Deliver all in-flight tuples to completion; returns the count.
 
         Tuples addressed to a failed server are consumed and lost
-        (the server's upstream backup covers them on recovery).
+        (the server's upstream backup covers them on recovery).  Tuples
+        on a blocked (partitioned) edge stay queued until it heals.
         """
         delivered = 0
         progress = True
         while progress:
             progress = False
             for (src, dst), queue in sorted(self.in_flight.items()):
+                if (src, dst) in self.blocked_edges:
+                    continue
                 while queue:
                     tup = queue.popleft()
                     delivered += 1

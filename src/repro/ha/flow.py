@@ -105,6 +105,8 @@ class FlowProtocol:
         frontier: list[tuple[str, FlowMessage]] = []
         for source_name in sorted(chain.sources):
             for dst in chain.edges[source_name]:
+                if (source_name, dst) in chain.blocked_edges:
+                    continue  # partitioned: this round's message is lost
                 message = FlowMessage(round_id)
                 chain.flow_messages += 1
                 frontier.append((dst, message))
@@ -126,6 +128,8 @@ class FlowProtocol:
                     self._ack(record)
                 continue
             for succ in successors:
+                if (dst, succ) in chain.blocked_edges:
+                    continue  # partitioned: records die unacked (safe)
                 chain.flow_messages += 1
                 frontier.append((succ, merged.copy()))
 
@@ -204,13 +208,41 @@ class FlowProtocol:
     def _ack(self, record: FlowRecord) -> None:
         """Back-channel message to the origin (one overlay message)."""
         self.chain.ack_messages += 1
-        self.chain._pending_acks.setdefault(record.origin, []).append(record.floor_seq)
+        self.chain._pending_acks.setdefault(record.origin, []).append(
+            (record.recorded_at, record.floor_seq)
+        )
+
+    def _watch_set(self, origin: str) -> set[str]:
+        """Servers whose floors gate the origin's truncation.
+
+        Every server within k boundaries downstream: a k-failure may
+        take any of them out, and the origin's log must cover rebuilding
+        each one through the replay cascade.
+        """
+        reach = max(self.chain.k, 1)
+        watch = set()
+        for name in self.chain.servers:
+            hops = self.chain.distance(origin, name)
+            if hops is not None and 1 <= hops <= reach:
+                watch.add(name)
+        return watch
 
     def _apply_acks(self) -> dict[str, int]:
-        """Truncate every origin's log with the minimum acked floor."""
+        """Truncate every origin's log with the minimum acked floor.
+
+        The paper truncates with "the minimum of the values" reported by
+        the downstream servers — which requires hearing from *all* of
+        them.  An origin whose round is incomplete (a watch server is
+        failed, partitioned off, or has not yet recorded a floor for
+        this origin) must not truncate: the silent server's recovery
+        replay may still need entries the others have long absorbed.
+        """
         applied = {}
-        for origin, floors in sorted(self.chain._pending_acks.items()):
-            floor = min(floors)
+        for origin, acks in sorted(self.chain._pending_acks.items()):
+            heard = {recorded_at for recorded_at, _floor in acks}
+            if self._watch_set(origin) - heard:
+                continue  # a branch is silent this round: unsafe to truncate
+            floor = min(floor for _recorded_at, floor in acks)
             node = self.chain.node(origin)
             node.truncate(floor)
             applied[origin] = floor

@@ -109,9 +109,14 @@ def _replay_floor(chain: ServerChain, failed: str, origin: str) -> int:
     """Highest origin-seq fully absorbed along *every* downstream path.
 
     Consults the failed server's downstream neighbors' absorption
-    watermarks (recursing past neighbors that also failed, down to the
-    application's watermark at terminals).  Replay starts just above
-    the returned floor; -1 means replay everything retained.
+    watermarks *for the edge arriving from the failed server*
+    (recursing past neighbors that also failed, down to the
+    application's watermark at terminals).  The per-sender keying
+    matters on branching DAGs: a sibling branch may carry an origin's
+    watermark far past what ever flowed through the failed server, and
+    using that merged value would skip replaying tuples the failed
+    branch still owes downstream.  Replay starts just above the
+    returned floor; -1 means replay everything retained.
     """
     if chain.is_terminal(failed):
         return chain.app_absorbed.get(failed, {}).get(origin, -1)
@@ -121,7 +126,7 @@ def _replay_floor(chain: ServerChain, failed: str, origin: str) -> int:
         if neighbor.failed:
             floors.append(_replay_floor(chain, downstream, origin))
         else:
-            floors.append(neighbor.absorbed.get(origin, -1))
+            floors.append(neighbor.absorbed.get(failed, {}).get(origin, -1))
     return min(floors) if floors else -1
 
 

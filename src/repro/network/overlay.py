@@ -162,6 +162,12 @@ class Overlay:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_relayed = 0
+        self.messages_faulted = 0
+        # Fault-injection hook (repro.sim.faults): consulted once per
+        # send with (src, dst, message); returns ("deliver", extra_delay)
+        # to add latency or ("drop", 0.0) to lose the message on the
+        # wire.  None means no fault layer is installed.
+        self.fault_hook: Callable[[str, str, Message], tuple[str, float]] | None = None
 
     def add_node(self, name: str) -> OverlayNode:
         if name in self.nodes:
@@ -255,6 +261,22 @@ class Overlay:
             path = found
             self.messages_relayed += max(len(path) - 2, 0)
         self.messages_sent += 1
+        fault_delay = 0.0
+        if self.fault_hook is not None:
+            verdict, amount = self.fault_hook(src, dst, message)
+            if verdict == "drop":
+                # Lost on the wire: the link is still charged for the
+                # serialization (the sender transmitted in good faith).
+                self.messages_faulted += 1
+                self.messages_dropped += 1
+                link = self.link(src, dst) if self.implicit_links or (src, dst) in self.links else None
+                if link is not None:
+                    start = max(self.sim.now, link.busy_until)
+                    link.busy_until = start + message.size / link.bandwidth
+                    link.messages_sent += 1
+                    link.bytes_sent += message.size
+                return self.sim.now
+            fault_delay = max(0.0, amount)
         departure = self.sim.now
         for hop_src, hop_dst in zip(path, path[1:]):
             link = self.link(hop_src, hop_dst)
@@ -264,6 +286,7 @@ class Overlay:
             link.messages_sent += 1
             link.bytes_sent += message.size
             departure = serialization_end + link.latency
+        departure += fault_delay
         if any(self.nodes[n].failed for n in path[1:-1]):
             # A failed relay swallows the message mid-path.
             self.sim.schedule_at(departure, self._drop_relayed)

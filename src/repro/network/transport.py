@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from typing import Callable
 
 
 class StreamMessage:
@@ -57,6 +58,7 @@ class TransportStats:
         self.delivered_messages: dict[str, int] = {}
         self.overhead_bytes = 0
         self.connections_used = 0
+        self.dropped_messages = 0
 
     def record(self, message: StreamMessage) -> None:
         self.delivered_bytes[message.stream] = (
@@ -88,12 +90,17 @@ class MultiplexedTransport:
         bandwidth: float,
         weights: dict[str, float] | None = None,
         framing_overhead: int = 4,
+        loss_hook: Callable[[StreamMessage], bool] | None = None,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         self.bandwidth = bandwidth
         self.weights = dict(weights or {})
         self.framing_overhead = framing_overhead
+        # Fault-injection hook: called once per transmitted message;
+        # returning True loses the message after it consumed link time
+        # (a corrupted/dropped frame), counted in stats.dropped_messages.
+        self.loss_hook = loss_hook
         # Per-stream queues of (start_tag, message).  Tags follow
         # start-time fair queueing: a message's virtual start is
         # max(current virtual time, the stream's previous finish), and
@@ -142,6 +149,9 @@ class MultiplexedTransport:
             self._queues[stream].popleft()
             now += transmit_time
             self._virtual_time = max(self._virtual_time, start_tag)
+            if self.loss_hook is not None and self.loss_hook(message):
+                self.stats.dropped_messages += 1
+                continue
             message.delivered_at = now
             self.stats.record(message)
             self.stats.overhead_bytes += self.framing_overhead
@@ -168,12 +178,14 @@ class PerStreamTransport:
         bandwidth: float,
         header_overhead: int = 40,
         setup_overhead: int = 120,
+        loss_hook: Callable[[StreamMessage], bool] | None = None,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         self.bandwidth = bandwidth
         self.header_overhead = header_overhead
         self.setup_overhead = setup_overhead
+        self.loss_hook = loss_hook
         self._queues: dict[str, deque[StreamMessage]] = {}
         self.stats = TransportStats()
 
@@ -223,8 +235,11 @@ class PerStreamTransport:
             for stream in list(active):
                 if remaining[stream] <= 1e-9:
                     message = self._queues[stream].popleft()
+                    del remaining[stream]
+                    if self.loss_hook is not None and self.loss_hook(message):
+                        self.stats.dropped_messages += 1
+                        continue
                     message.delivered_at = now
                     self.stats.record(message)
                     self.stats.overhead_bytes += self.header_overhead
-                    del remaining[stream]
         return self.stats

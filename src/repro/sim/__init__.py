@@ -1,4 +1,4 @@
-"""Discrete-event simulation substrate.
+"""Discrete-event simulation substrate and fault injection.
 
 The paper's systems (Aurora*, Medusa) are distributed processes on real
 networks.  This repository substitutes a deterministic discrete-event
@@ -6,8 +6,28 @@ simulator: a virtual clock, an ordered event queue, and seeded randomness.
 All distributed experiments (load management, high availability, the
 Medusa economy) run on this substrate, so results are exactly
 reproducible.
+
+On top of the simulator sit FoundationDB-style simulation tests:
+seed-derived fault plans (:mod:`repro.sim.faults`), machine-checked
+paper invariants (:mod:`repro.sim.invariants`), and replayable scenario
+runners (:mod:`repro.sim.scenarios`).
 """
 
+from repro.sim.faults import FaultEvent, FaultPlan, OverlayFaultInjector
+from repro.sim.invariants import (
+    InvariantViolation,
+    TruncationGuard,
+    assert_no_violations,
+)
 from repro.sim.simulator import Event, Simulator
 
-__all__ = ["Event", "Simulator"]
+__all__ = [
+    "Event",
+    "FaultEvent",
+    "FaultPlan",
+    "InvariantViolation",
+    "OverlayFaultInjector",
+    "Simulator",
+    "TruncationGuard",
+    "assert_no_violations",
+]

@@ -1,0 +1,145 @@
+"""Runtime invariant checking for fault-injection scenarios.
+
+After (and during) every scenario the paper's guarantees are checked
+mechanically:
+
+* **k-safety** (Section 6.1): "the failure of any k servers does not
+  result in any message losses" — the delivered output multiset under
+  at most k concurrent failures equals the failure-free baseline, with
+  no duplicates (exactly-once delivery to the application);
+* **truncation safety** (Section 6.2): queue truncation never discards
+  an output-log entry that some server within k boundaries downstream
+  might still need for recovery replay — checked live on every
+  truncation through :attr:`HAServer.truncate_hook`;
+* **recovery convergence** (Section 6.3): once every partition heals
+  and every failed server recovers, the system drains — no failed
+  servers, no blocked edges, no in-flight tuples — and delivery has
+  caught up with the baseline.
+
+Violations are collected as strings (one per incident) rather than
+raised mid-run, so a sweep reports every broken schedule with its seed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ha.chain import HAServer, ServerChain
+from repro.ha.recovery import _replay_floor
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :func:`assert_no_violations` when a scenario broke an
+    invariant."""
+
+
+class TruncationGuard:
+    """Live truncation-safety checker for one :class:`ServerChain`.
+
+    Installs itself as every node's ``truncate_hook``.  On each
+    truncation it recomputes the highest floor that is provably safe —
+    the minimum, over every server within k boundaries downstream of
+    the truncating origin, of that server's current dependency floor
+    (for live servers) or its recovery-replay requirement (for failed
+    ones) — and records a violation if the truncation went further.
+    """
+
+    def __init__(self, chain: ServerChain):
+        self.chain = chain
+        self.violations: list[str] = []
+        self.truncations_checked = 0
+        self.entries_checked = 0
+        for node in list(chain.servers.values()) + list(chain.sources.values()):
+            node.truncate_hook = self._on_truncate
+
+    def max_safe_floor(self, origin: str) -> float:
+        """Highest ``below`` value a truncation at ``origin`` may use."""
+        chain = self.chain
+        reach = max(chain.k, 1)
+        limit = float("inf")
+        for name in sorted(chain.servers):
+            hops = chain.distance(origin, name)
+            if hops is None or not 1 <= hops <= reach:
+                continue
+            server = chain.servers[name]
+            if server.failed:
+                required = _replay_floor(chain, name, origin) + 1
+            else:
+                floor = server.dependency_floor().get(origin)
+                required = 0 if floor is None else floor
+            limit = min(limit, required)
+        return limit
+
+    def _on_truncate(self, node: HAServer, below: int, dropped: list) -> None:
+        self.truncations_checked += 1
+        self.entries_checked += len(dropped)
+        allowed = self.max_safe_floor(node.name)
+        if below > allowed:
+            seqs = [seq for seq, _tup in dropped if seq >= allowed]
+            self.violations.append(
+                f"truncation at {node.name!r} discarded needed entries: "
+                f"below={below} > safe floor {allowed:g} (lost seqs {seqs})"
+            )
+
+
+def check_delivery(
+    baseline: Counter, delivered: Counter, context: str = ""
+) -> list[str]:
+    """k-safety delivery check: no loss, no duplication vs the baseline.
+
+    Both multisets are keyed by ``repr(value)`` so corrupted window
+    contents register even when output counts coincide.
+    """
+    violations = []
+    lost = baseline - delivered
+    duplicated = delivered - baseline
+    prefix = f"{context}: " if context else ""
+    if lost:
+        sample = sorted(lost.elements())[:5]
+        violations.append(
+            f"{prefix}{sum(lost.values())} committed output tuple(s) lost "
+            f"(e.g. {sample})"
+        )
+    if duplicated:
+        sample = sorted(duplicated.elements())[:5]
+        violations.append(
+            f"{prefix}{sum(duplicated.values())} output tuple(s) duplicated "
+            f"(e.g. {sample})"
+        )
+    return violations
+
+
+def check_convergence(chain: ServerChain, context: str = "") -> list[str]:
+    """Recovery-convergence check: the healed system must be drained."""
+    violations = []
+    prefix = f"{context}: " if context else ""
+    still_failed = sorted(n for n, s in chain.servers.items() if s.failed)
+    if still_failed:
+        violations.append(f"{prefix}servers still failed at end: {still_failed}")
+    if chain.blocked_edges:
+        violations.append(
+            f"{prefix}partitions never healed: {sorted(chain.blocked_edges)}"
+        )
+    stuck = {
+        f"{src}->{dst}": len(queue)
+        for (src, dst), queue in sorted(chain.in_flight.items())
+        if queue
+    }
+    if stuck:
+        violations.append(f"{prefix}in-flight tuples never delivered: {stuck}")
+    return violations
+
+
+def delivered_counter(chain: ServerChain, terminal: str) -> Counter:
+    """The application-visible output multiset at one terminal."""
+    return Counter(repr(t.value) for t in chain.delivered.get(terminal, []))
+
+
+def assert_no_violations(violations: list[str], context: str = "") -> None:
+    """Raise :class:`InvariantViolation` if any check failed."""
+    if violations:
+        header = f"{context}: " if context else ""
+        raise InvariantViolation(
+            header + f"{len(violations)} invariant violation(s):\n  "
+            + "\n  ".join(violations)
+        )

@@ -5,6 +5,12 @@ insertion order, which makes every run fully deterministic.  The
 simulator is intentionally tiny: the distributed-systems logic lives in
 the packages built on top of it (``repro.network``, ``repro.distributed``,
 ``repro.ha``, ``repro.medusa``).
+
+For fault-injection and replay testing the simulator can record an
+*event trace*: one entry per fired event, ``(time, seq, label)``.  Two
+runs of the same seeded scenario must produce byte-identical traces —
+this is the determinism contract the scenario runner
+(:mod:`repro.sim.scenarios`) and the regression tests rely on.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ class Event:
     skipped by the event loop.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -29,10 +35,16 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._sim: "Simulator | None" = None
 
     def cancel(self) -> None:
-        """Prevent the event from firing."""
+        """Prevent the event from firing (idempotent, no-op once fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._pending_count -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -51,20 +63,41 @@ class Simulator:
         sim.schedule(1.5, callback, arg1, arg2)
         sim.run()          # run until the event queue drains
         sim.run(until=10)  # ...or until virtual time 10
+
+    Args:
+        record_trace: when True, every fired event appends
+            ``(time, seq, label)`` to :attr:`trace`, where label is the
+            callback's ``__name__``.  Used by determinism tests and the
+            fault-injection replay machinery.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, record_trace: bool = False) -> None:
         self.now: float = 0.0
         self._queue: list[Event] = []
         self._counter = itertools.count()
         self.events_processed = 0
+        # Pending (non-cancelled) events, maintained incrementally so
+        # ``pending`` is O(1) instead of an O(n) queue scan.
+        self._pending_count = 0
+        self.trace: list[tuple[float, int, str]] = []
+        self._record_trace = record_trace
+
+    def enable_trace(self) -> None:
+        """Start recording the event trace (idempotent)."""
+        self._record_trace = True
+
+    def trace_text(self) -> str:
+        """The event trace as one canonical string (for byte comparison)."""
+        return "\n".join(f"{t:.9f} {seq} {label}" for t, seq, label in self.trace)
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` virtual seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         event = Event(self.now + delay, next(self._counter), fn, args)
+        event._sim = self
         heapq.heappush(self._queue, event)
+        self._pending_count += 1
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -85,7 +118,12 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event.fired = True
+            self._pending_count -= 1
             self.now = event.time
+            if self._record_trace:
+                label = getattr(event.fn, "__name__", repr(event.fn))
+                self.trace.append((event.time, event.seq, label))
             event.fn(*event.args)
             self.events_processed += 1
             return True
@@ -116,5 +154,5 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of pending (non-cancelled) events.  O(1)."""
+        return self._pending_count

@@ -72,6 +72,60 @@ class TestRateEstimator:
         with pytest.raises(ValueError):
             RateEstimator(capacity=0)
 
+    def test_capacity_saturation_sheds_oldest(self):
+        estimator = RateEstimator(window=10.0, capacity=5)
+        estimator.record(0.0, count=3)
+        estimator.record(1.0, count=3)  # exceeds capacity by one
+        assert len(estimator) == 5
+        # The overflow came out of the *oldest* bucket, so expiring it
+        # at t=11 drops only its remaining 2 events.
+        assert estimator.rate(11.0) == pytest.approx(3 / 10.0)
+
+    def test_single_batch_larger_than_capacity(self):
+        estimator = RateEstimator(window=1.0, capacity=100)
+        estimator.record(0.0, count=1000)
+        assert len(estimator) == 100
+        assert estimator.rate(0.5) == pytest.approx(100.0)
+
+    def test_same_timestamp_records_collapse_into_one_bucket(self):
+        estimator = RateEstimator(window=1.0)
+        for _ in range(50):
+            estimator.record(0.25)
+        assert len(estimator._buckets) == 1
+        assert len(estimator) == 50
+        assert estimator.rate(1.0) == pytest.approx(50.0)
+
+    def test_zero_or_negative_count_ignored(self):
+        estimator = RateEstimator(window=1.0)
+        estimator.record(0.0, count=0)
+        estimator.record(0.0, count=-5)
+        assert len(estimator) == 0
+
+    def test_batch_record_is_constant_time(self):
+        # record(count=n) must not degrade into n appends: a huge batch
+        # costs the same as a unit one.
+        import timeit
+
+        def unit():
+            RateEstimator(window=1.0).record(0.0, count=1)
+
+        def huge():
+            RateEstimator(window=1.0, capacity=10**9).record(0.0, count=10**8)
+
+        t_unit = min(timeit.repeat(unit, number=500, repeat=3))
+        t_huge = min(timeit.repeat(huge, number=500, repeat=3))
+        assert t_huge < t_unit * 20  # would be ~1e8x if it looped
+
+    def test_expiry_keeps_total_consistent(self):
+        estimator = RateEstimator(window=1.0)
+        for t in range(10):
+            estimator.record(float(t), count=2)
+        estimator.rate(9.5)  # expires everything before 8.5
+        assert len(estimator) == 2
+        for t in range(10, 13):
+            estimator.record(float(t))
+        assert estimator.rate(12.5) == pytest.approx(1.0)
+
 
 class TestSummarize:
     def test_summary_lists_every_box(self):

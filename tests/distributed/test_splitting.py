@@ -4,6 +4,8 @@ The Figure 6 worked example — splitting a Tumble(cnt, groupby A) after
 tuple #3 with router predicate B < 3 — is reproduced tuple-for-tuple.
 """
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -251,3 +253,91 @@ class TestFigure7DistributedSplit:
         system.deploy_all_on("m1")
         with pytest.raises(SplitError):
             split_box_distributed(system, "t", lambda t: True, to_node="ghost")
+
+
+# -- seeded stdlib-random split-equivalence (replay by (SPLIT_SEED, index)) ---
+
+SPLIT_SEED = 0x5B117
+N_STREAMS = 50
+
+
+def random_streams(seed=SPLIT_SEED, n=N_STREAMS, max_len=60):
+    """Deterministic corpus of n random streams (same every run)."""
+    rng = random.Random(seed)
+    for index in range(n):
+        rows = [
+            {"A": rng.randint(0, 5), "B": rng.randint(0, 9)}
+            for _ in range(rng.randint(0, max_len))
+        ]
+        yield index, rng.randint(0, 9), rows
+
+
+def multiset(tuples):
+    return sorted(tuple(sorted(t.values.items())) for t in tuples)
+
+
+class TestSplitEquivalenceRandomized:
+    """Section 5.1 transparency over a seeded random corpus: the split
+    network delivers exactly the unsplit network's output multiset."""
+
+    def test_filter_split_exact_multiset_across_random_streams(self):
+        for index, cutoff, rows in random_streams():
+            stream = make_stream(rows)
+            unsplit = execute(filter_network(), {"src": list(stream)})
+            net = filter_network()
+            split_box(net, "f", lambda t: t["B"] < cutoff)
+            split = execute(net, {"src": list(stream)})
+            assert multiset(split["even"]) == multiset(unsplit["even"]), (
+                f"filter split diverged on stream {index} (cutoff {cutoff})"
+            )
+
+    def test_count_tumble_group_stable_split_exact_multiset(self):
+        """A group-stable router keeps every group's windows on one
+        side, so a count-mode Tumble split merges with a plain Union —
+        and must reproduce the unsplit output exactly, not just in
+        per-group totals."""
+        for index, _cutoff, rows in random_streams():
+            def count_network():
+                net = QueryNetwork()
+                net.add_box(
+                    "t",
+                    Tumble(
+                        "sum", groupby=("A",), value_attr="B",
+                        mode="count", window_size=3,
+                    ),
+                )
+                net.connect("in:src", "t")
+                net.connect("t", "out:agg")
+                return net
+
+            stream = make_stream(rows)
+            unsplit = execute(count_network(), {"src": list(stream)})
+            net = count_network()
+            split_box(
+                net, "t", lambda t: t["A"] % 2 == 0, group_stable=True
+            )
+            split = execute(net, {"src": list(stream)})
+            assert multiset(split["agg"]) == multiset(unsplit["agg"]), (
+                f"group-stable tumble split diverged on stream {index}"
+            )
+
+    def test_run_tumble_split_totals_across_random_streams(self):
+        """Run-mode windows can straddle the router mid-window, so the
+        guaranteed invariant is per-group aggregate totals (the combine
+        step's contract), checked across the whole corpus."""
+        for index, cutoff, rows in random_streams(n=25):
+            stream = make_stream(rows)
+            unsplit = execute(tumble_network("sum"), {"src": list(stream)})
+            net = tumble_network("sum")
+            split_box(net, "t", lambda t: t["B"] < cutoff)
+            split = execute(net, {"src": list(stream)})
+
+            def totals(tuples):
+                agg = {}
+                for t in tuples:
+                    agg[t["A"]] = agg.get(t["A"], 0) + t["result"]
+                return agg
+
+            assert totals(split["agg"]) == totals(unsplit["agg"]), (
+                f"run tumble split totals diverged on stream {index}"
+            )

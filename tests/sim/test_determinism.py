@@ -1,0 +1,94 @@
+"""Determinism regression: same seed, same scenario, identical runs.
+
+The whole fault-injection methodology rests on the simulator being a
+pure function of its inputs: two runs of one seeded scenario must agree
+on every observable — events processed, final clocks, output traces.
+These tests pin that contract so an accidental source of
+non-determinism (dict-order iteration, id()-keyed sets, wall-clock
+reads) fails loudly instead of silently making failures unreplayable.
+"""
+
+import random
+
+from repro.core.operators.map import Map
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.distributed.system import AuroraStarSystem
+from repro.sim import Simulator
+from repro.sim.scenarios import ScenarioSpec, run_chain_scenario, run_overlay_scenario
+
+
+def _seeded_workload(seed: int) -> Simulator:
+    """A simulator driven by seeded-random self-scheduling callbacks."""
+    sim = Simulator(record_trace=True)
+    rng = random.Random(seed)
+
+    def tick(depth: int) -> None:
+        if depth >= 6:
+            return
+        for _ in range(rng.randint(1, 3)):
+            sim.schedule(rng.uniform(0.01, 1.0), tick, depth + 1)
+
+    sim.schedule(0.0, tick, 0)
+    sim.run(until=10.0)
+    return sim
+
+
+class TestSimulatorDeterminism:
+    def test_seeded_workload_replays_identically(self):
+        a = _seeded_workload(42)
+        b = _seeded_workload(42)
+        assert a.events_processed == b.events_processed
+        assert a.now == b.now
+        assert a.trace == b.trace
+        assert a.trace_text() == b.trace_text()
+
+    def test_different_seeds_diverge(self):
+        assert _seeded_workload(1).trace != _seeded_workload(2).trace
+
+
+class TestDistributedDeterminism:
+    def _run(self) -> AuroraStarSystem:
+        network = QueryNetwork("det")
+        network.add_box("m1", Map(lambda v: {"v": v["v"] * 2}))
+        network.add_box("m2", Map(lambda v: {"v": v["v"] + 1}))
+        network.connect("in:src", "m1")
+        network.connect("m1", "m2")
+        network.connect("m2", "out:sink")
+        sim = Simulator(record_trace=True)
+        system = AuroraStarSystem(network, sim=sim)
+        for name in ("n1", "n2"):
+            system.add_node(name)
+        system.deploy({"m1": "n1", "m2": "n2"})
+        system.schedule_source(
+            "src", make_stream([{"v": i} for i in range(30)], spacing=0.05)
+        )
+        system.run(until=5.0)
+        return system
+
+    def test_identical_events_clocks_and_outputs(self):
+        a, b = self._run(), self._run()
+        assert a.sim.events_processed == b.sim.events_processed
+        assert a.sim.now == b.sim.now
+        assert a.sim.trace_text() == b.sim.trace_text()
+        assert [t.values for t in a.outputs["sink"]] == [
+            t.values for t in b.outputs["sink"]
+        ]
+        assert a.output_latencies["sink"] == b.output_latencies["sink"]
+
+
+class TestScenarioDeterminism:
+    def test_chain_scenario_full_state_agreement(self):
+        spec = ScenarioSpec(seed=31337, topology="deep4", k=2, n_steps=55)
+        a = run_chain_scenario(spec)
+        b = run_chain_scenario(spec)
+        assert a.trace == b.trace
+        assert a.stats == b.stats
+        assert a.violations == b.violations
+
+    def test_overlay_scenario_full_state_agreement(self):
+        a = run_overlay_scenario(seed=7)
+        b = run_overlay_scenario(seed=7)
+        assert a.trace_text == b.trace_text
+        assert a.detections == b.detections
+        assert a.stats == b.stats

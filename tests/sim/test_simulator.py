@@ -68,6 +68,96 @@ class TestCancellation:
         event.cancel()
         assert sim.pending == 1
 
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_is_a_no_op(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        event.cancel()  # already fired: must not corrupt the count
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_pending_counts_stay_exact_under_churn(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i % 7) + 0.1, lambda: None) for i in range(100)]
+        for event in events[::3]:
+            event.cancel()
+        for event in events[::3]:
+            event.cancel()  # double cancels must not double-count
+        live = sum(1 for e in events if not e.cancelled)
+        assert sim.pending == live
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == live
+
+    def test_pending_is_constant_time(self):
+        # The counter must not degrade into an O(n) queue scan: reading
+        # ``pending`` with 50k events queued costs the same as with 10.
+        import timeit
+
+        small, big = Simulator(), Simulator()
+        for _ in range(10):
+            small.schedule(1.0, lambda: None)
+        for _ in range(50_000):
+            big.schedule(1.0, lambda: None)
+        t_small = min(timeit.repeat(lambda: small.pending, number=2000, repeat=3))
+        t_big = min(timeit.repeat(lambda: big.pending, number=2000, repeat=3))
+        assert t_big < t_small * 20  # would be ~5000x if it scanned
+
+
+class TestTrace:
+    def test_trace_records_fired_events_in_order(self):
+        sim = Simulator(record_trace=True)
+
+        def alpha():
+            pass
+
+        def beta():
+            pass
+
+        sim.schedule(2.0, beta)
+        sim.schedule(1.0, alpha)
+        sim.run()
+        assert [label for _t, _s, label in sim.trace] == ["alpha", "beta"]
+        assert sim.trace_text().splitlines()[0].endswith("alpha")
+
+    def test_trace_off_by_default(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.trace == []
+
+    def test_enable_trace_mid_run(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.enable_trace()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(sim.trace) == 1
+
+    def test_cancelled_events_never_appear_in_trace(self):
+        sim = Simulator(record_trace=True)
+        sim.schedule(1.0, lambda: None).cancel()
+
+        def kept():
+            pass
+
+        sim.schedule(2.0, kept)
+        sim.run()
+        assert [label for _t, _s, label in sim.trace] == ["kept"]
+
 
 class TestRunBounds:
     def test_run_until_stops_clock_at_bound(self):
