@@ -1,0 +1,288 @@
+"""PERF — wall-clock throughput of the batched execution path.
+
+Every other experiment in this repo measures *virtual* time; this suite
+is the wall-clock baseline the ROADMAP's "as fast as the hardware
+allows" goal is tracked against.  It runs the same workload down the
+scalar per-tuple path and the first-class-batch path (engine
+``batch_execution``, operator ``process_batch``, transport tuple-train
+frames) and reports tuples/second for both, asserting the two paths
+produce byte-identical outputs and identical virtual clocks.
+
+Topologies:
+
+* ``pipeline``  — E2's 2000-tuple filter→map chain (the acceptance
+  topology: batch must be ≥ 2x scalar here).
+* ``fanout``    — CaseFilter routing to four output streams.
+* ``window``    — filter→Tumble(groupby)→map windowed aggregation.
+* ``transport`` — multiplexed transport shipping one train frame per
+  batch vs one message per tuple.
+
+Run standalone to emit ``BENCH_PERF.json``::
+
+    PYTHONPATH=src python benchmarks/bench_perf_throughput.py \
+        [--tuples N] [--train N] [--repeats N] [--out PATH] [--check]
+
+``--check`` exits non-zero if any batch path is slower than its scalar
+counterpart (the CI perf-smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.engine import AuroraEngine
+from repro.core.operators.case_filter import CaseFilter
+from repro.core.operators.filter import Filter
+from repro.core.operators.map import Map
+from repro.core.operators.tumble import Tumble
+from repro.core.query import QueryNetwork
+from repro.core.tuples import make_stream
+from repro.network.transport import (
+    MultiplexedTransport,
+    StreamMessage,
+    TupleTrainMessage,
+)
+
+DEFAULT_TUPLES = 2000
+DEFAULT_TRAIN = 100
+DEFAULT_REPEATS = 5
+
+
+# -- topologies ---------------------------------------------------------------
+
+
+def pipeline_network():
+    """E2's topology: the acceptance pipeline."""
+    net = QueryNetwork()
+    net.add_box("f", Filter(lambda t: t["A"] % 2 == 0, cost_per_tuple=0.0005))
+    net.add_box("m", Map(lambda v: {"A": v["A"] + 1}, cost_per_tuple=0.0005))
+    net.connect("in:src", "f")
+    net.connect("f", "m")
+    net.connect("m", "out:sink")
+    return net, ["sink"]
+
+
+def fanout_network():
+    net = QueryNetwork()
+    net.add_box("route", CaseFilter(
+        [lambda t: t["A"] % 4 == 0, lambda t: t["A"] % 4 == 1, lambda t: t["A"] % 4 == 2],
+        with_else_port=True,
+        cost_per_tuple=0.0005,
+    ))
+    net.connect("in:src", "route")
+    for port, name in enumerate(("q0", "q1", "q2", "rest")):
+        net.connect(("route", port), f"out:{name}")
+    return net, ["q0", "q1", "q2", "rest"]
+
+
+def window_network():
+    net = QueryNetwork()
+    net.add_box("f", Filter(lambda t: t["B"] >= 0, cost_per_tuple=0.0005))
+    net.add_box("t", Tumble("sum", groupby=("A",), value_attr="B",
+                            cost_per_tuple=0.001))
+    net.add_box("m", Map(lambda v: dict(v, doubled=v["result"] * 2),
+                         cost_per_tuple=0.0005))
+    net.connect("in:src", "f")
+    net.connect("f", "t")
+    net.connect("t", "m")
+    net.connect("m", "out:agg")
+    return net, ["agg"]
+
+
+def make_workload(n_tuples: int):
+    return make_stream(
+        [{"A": i % 17, "B": (i * 7) % 23} for i in range(n_tuples)], spacing=0.0
+    )
+
+
+# -- engine measurement -------------------------------------------------------
+
+
+def run_engine_once(build, stream, batch: bool, train_size: int):
+    net, outputs = build()
+    engine = AuroraEngine(
+        net,
+        train_size=train_size,
+        batch_execution=batch,
+        scheduling_overhead=0.002,
+    )
+    start = time.perf_counter()
+    engine.push_many("src", stream)
+    engine.run_until_idle()
+    engine.flush()
+    elapsed = time.perf_counter() - start
+    emitted = {
+        name: [(t.values, t.timestamp) for t in engine.outputs[name]]
+        for name in outputs
+    }
+    return elapsed, emitted, engine.clock
+
+
+def measure_engine(build, stream, train_size: int, repeats: int):
+    """Best-of-``repeats`` throughput for scalar and batch, plus checks."""
+    results = {}
+    reference = {}
+    for mode, batch in (("scalar", False), ("batch", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            elapsed, emitted, clock = run_engine_once(build, stream, batch, train_size)
+            best = min(best, elapsed)
+        results[mode] = len(stream) / best
+        reference[mode] = (emitted, clock)
+    scalar_out, scalar_clock = reference["scalar"]
+    batch_out, batch_clock = reference["batch"]
+    return {
+        "scalar_tps": round(results["scalar"]),
+        "batch_tps": round(results["batch"]),
+        "speedup": round(results["batch"] / results["scalar"], 3),
+        "outputs_match": scalar_out == batch_out,
+        "virtual_time_match": scalar_clock == batch_clock,
+        "virtual_time": scalar_clock,
+    }
+
+
+# -- transport measurement ----------------------------------------------------
+
+
+def measure_transport(n_tuples: int, train_size: int, repeats: int,
+                      tuple_bytes: int = 100, header_bytes: int = 24):
+    """One message per tuple vs one train frame per batch."""
+    results = {}
+    delivered = {}
+    for mode in ("scalar", "batch"):
+        best = float("inf")
+        for _ in range(repeats):
+            transport = MultiplexedTransport(
+                bandwidth=1e9, framing_overhead=header_bytes
+            )
+            start = time.perf_counter()
+            if mode == "scalar":
+                for _ in range(n_tuples):
+                    transport.enqueue(StreamMessage("s", size=tuple_bytes))
+            else:
+                full, rest = divmod(n_tuples, train_size)
+                for _ in range(full):
+                    transport.enqueue(
+                        TupleTrainMessage("s", train_size, tuple_bytes, header_bytes)
+                    )
+                if rest:
+                    transport.enqueue(
+                        TupleTrainMessage("s", rest, tuple_bytes, header_bytes)
+                    )
+            stats = transport.run(duration=1e9)
+            best = min(best, time.perf_counter() - start)
+            delivered[mode] = (
+                stats.delivered_tuples.get("s", 0),
+                stats.delivered_bytes.get("s", 0) - stats.overhead_bytes
+                if mode == "batch" else stats.delivered_bytes.get("s", 0),
+            )
+        results[mode] = n_tuples / best
+    scalar_tuples = delivered["scalar"][0]
+    batch_tuples = delivered["batch"][0]
+    return {
+        "scalar_tps": round(results["scalar"]),
+        "batch_tps": round(results["batch"]),
+        "speedup": round(results["batch"] / results["scalar"], 3),
+        "outputs_match": scalar_tuples == batch_tuples == n_tuples,
+        "tuples_delivered": batch_tuples,
+    }
+
+
+# -- suite --------------------------------------------------------------------
+
+
+def run_suite(n_tuples: int = DEFAULT_TUPLES, train_size: int = DEFAULT_TRAIN,
+              repeats: int = DEFAULT_REPEATS) -> dict:
+    stream = make_workload(n_tuples)
+    report = {
+        "suite": "bench_perf_throughput",
+        "config": {
+            "tuples": n_tuples,
+            "train_size": train_size,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+        },
+        "results": {
+            "pipeline": measure_engine(pipeline_network, stream, train_size, repeats),
+            "fanout": measure_engine(fanout_network, stream, train_size, repeats),
+            "window": measure_engine(window_network, stream, train_size, repeats),
+            "transport": measure_transport(n_tuples, train_size, repeats),
+        },
+    }
+    return report
+
+
+def print_report(report: dict) -> None:
+    print(f"\nPERF: wall-clock throughput "
+          f"({report['config']['tuples']} tuples, "
+          f"train {report['config']['train_size']}, "
+          f"best of {report['config']['repeats']})")
+    print(f"  {'topology':10s} {'scalar tps':>12s} {'batch tps':>12s} "
+          f"{'speedup':>8s}  outputs")
+    for name, row in report["results"].items():
+        match = "identical" if row["outputs_match"] else "DIVERGED"
+        print(f"  {name:10s} {row['scalar_tps']:12,d} {row['batch_tps']:12,d} "
+              f"{row['speedup']:7.2f}x  {match}")
+
+
+def check_report(report: dict) -> list[str]:
+    """The CI gate: batch must not be slower anywhere, outputs must match."""
+    failures = []
+    for name, row in report["results"].items():
+        if not row["outputs_match"]:
+            failures.append(f"{name}: batch outputs diverged from scalar")
+        if row.get("virtual_time_match") is False:
+            failures.append(f"{name}: virtual clocks diverged")
+        if row["speedup"] < 1.0:
+            failures.append(
+                f"{name}: batch path slower than scalar ({row['speedup']:.2f}x)"
+            )
+    return failures
+
+
+# -- pytest entry (small config; correctness assertions only) -----------------
+
+
+def test_perf_throughput_smoke():
+    report = run_suite(n_tuples=400, train_size=50, repeats=2)
+    print_report(report)
+    for name, row in report["results"].items():
+        assert row["outputs_match"], f"{name}: batch outputs diverged"
+        if "virtual_time_match" in row:
+            assert row["virtual_time_match"], f"{name}: virtual clocks diverged"
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tuples", type=int, default=DEFAULT_TUPLES)
+    parser.add_argument("--train", type=int, default=DEFAULT_TRAIN)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--out", default="BENCH_PERF.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if the batch path is slower "
+                             "than scalar or outputs diverge")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.tuples, args.train, args.repeats)
+    print_report(report)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ owns the clock.
 
 from __future__ import annotations
 
+from collections import deque
+from itertools import islice
 from typing import Iterable
 
 from repro.core.catalog import LocalCatalog
@@ -41,6 +43,12 @@ class AuroraEngine:
             second (node speed; 1.0 = costs are wall-clock).
         scheduling_overhead: virtual seconds charged per scheduling
             decision (this is what train scheduling amortizes).
+        batch_execution: if True (the default), a train is dequeued,
+            processed (via :meth:`Operator.process_batch`) and emitted
+            as one batch, amortizing the per-tuple interpreter overhead
+            the same way train scheduling amortizes decision overhead.
+            False keeps the per-tuple scalar path (same semantics; the
+            perf benchmark compares the two).
         qos_specs: per-output-stream QoS specifications.
         storage: storage manager (buffer/spill accounting).
         shedder: load shedder; None disables shedding.
@@ -60,6 +68,7 @@ class AuroraEngine:
         storage: StorageManager | None = None,
         shedder: LoadShedder | None = None,
         load_window: float = 1.0,
+        batch_execution: bool = True,
     ):
         network.validate()
         if train_size < 1:
@@ -76,6 +85,7 @@ class AuroraEngine:
         self.storage = storage or StorageManager()
         self.shedder = shedder
         self.load_window = load_window
+        self.batch_execution = batch_execution
         self.catalog = LocalCatalog()
 
         self.clock = 0.0
@@ -164,6 +174,31 @@ class AuroraEngine:
 
     def push_many(self, input_name: str, tuples: Iterable[StreamTuple]) -> int:
         """Admit a batch; returns the number of tuples admitted."""
+        if input_name not in self.network.inputs:
+            raise KeyError(f"engine network has no input {input_name!r}")
+        arcs = self.network.inputs[input_name]
+        if (
+            self.batch_execution
+            and self.shedder is None
+            and len(arcs) == 1
+            and arcs[0].connection_point is None
+        ):
+            # Fast path: same per-tuple clock/stamp semantics as push(),
+            # with the arc and queue lookups hoisted out of the loop.
+            arc = arcs[0]
+            queue = arc.queue
+            queue_times = arc.queue_times
+            clock = self.clock
+            admitted = 0
+            for tup in tuples:
+                if tup.timestamp > clock:
+                    clock = tup.timestamp
+                queue.append(tup)
+                queue_times.append(clock)
+                admitted += 1
+            arc.tuples_transferred += admitted
+            self.clock = clock
+            return admitted
         admitted = 0
         for tup in tuples:
             if self.push(input_name, tup):
@@ -198,6 +233,12 @@ class AuroraEngine:
         """Process up to ``train_size`` tuples at one box."""
         box = self.network.boxes[box_id]
         budget = self.train_size if limit is None else limit
+        if self.batch_execution:
+            return self._run_train_batched(box, budget)
+        return self._run_train_scalar(box, budget)
+
+    def _run_train_scalar(self, box: Box, budget: int) -> float:
+        """The per-tuple reference path: one full engine round per tuple."""
         consumed = 0.0
         while budget > 0:
             arc = self._oldest_input_arc(box)
@@ -223,6 +264,120 @@ class AuroraEngine:
             budget -= 1
         return consumed
 
+    def _run_train_batched(self, box: Box, budget: int) -> float:
+        """Process a train as first-class batches.
+
+        Each iteration claims a maximal run of tuples that the scalar
+        path would have consumed from the same arc (so consumption order
+        across input arcs is preserved exactly), dequeues it in one
+        slice, charges storage and cost/latency in one accounting pass
+        (clock and latency chains stay bit-identical to the scalar
+        path's incremental sums), runs ``process_batch`` once and emits
+        whole per-arc lists.  The one granularity change: a train's
+        emissions are enqueued downstream with the train-end clock
+        rather than per-tuple intermediate clocks (see
+        docs/architecture.md).
+        """
+        consumed = 0.0
+        operator = box.operator
+        cost = operator.cost_per_tuple / self.cpu_capacity
+        clock = self.clock
+        while budget > 0:
+            arc, n = self._claim_run(box, budget)
+            if arc is None:
+                break
+            # Charge storage against the pre-pop queue length: the
+            # scalar path tests ``len(queue) <= spilled`` before each
+            # popleft, so the batch charge must see the same lengths.
+            read_cost, first_read = self.storage.charge_consume_batch(arc, n)
+            queue = arc.queue
+            if n == len(queue):
+                batch = list(queue)
+                queue.clear()
+            else:
+                popleft = queue.popleft
+                batch = [popleft() for _ in range(n)]
+            queue_times = arc.queue_times
+            timed = min(n, len(queue_times))
+            if timed == len(queue_times):
+                times = list(queue_times)
+                queue_times.clear()
+            else:
+                pop_time = queue_times.popleft
+                times = [pop_time() for _ in range(timed)]
+            latency = 0.0
+            if first_read >= n and timed == n:
+                # Common case: no spilled reads, timestamps in lockstep.
+                for enqueued_at in times:
+                    clock += cost
+                    consumed += cost
+                    latency += clock - enqueued_at
+            else:
+                per_read = self.storage.read_cost
+                for i in range(n):
+                    if i >= first_read:
+                        clock += per_read
+                        consumed += per_read
+                    enqueued_at = times[i] if i < timed else clock
+                    clock += cost
+                    consumed += cost
+                    latency += clock - enqueued_at
+            self.clock = clock
+            box.busy_time += n * cost
+            box.tuples_in += n
+            box.latency_sum += latency
+            box.latency_count += n
+            self.tuples_processed += n
+            emissions = operator.process_batch(batch, port=int(arc.target[1]))
+            box.tuples_out += len(emissions)
+            self._emit_batch(box, emissions)
+            budget -= n
+        self.clock = clock
+        return consumed
+
+    def _claim_run(self, box: Box, budget: int) -> tuple[Arc | None, int]:
+        """The arc the scalar path would consume from next, and how many
+        consecutive head tuples it would take from it before switching
+        arcs (capped by ``budget``).
+
+        Replicates :meth:`_oldest_input_arc`'s selection rule: the first
+        arc (in port order) whose head enqueue time is strictly smaller
+        than any earlier arc's and no larger than any later arc's.
+        """
+        arcs = [arc for arc in box.input_arcs.values() if arc.queue]
+        if not arcs:
+            return None, 0
+        if len(arcs) == 1:
+            arc = arcs[0]
+            return arc, min(budget, len(arc.queue))
+        best = None
+        best_time = float("inf")
+        best_index = 0
+        heads = []
+        for index, arc in enumerate(arcs):
+            head = arc.queue_times[0] if arc.queue_times else 0.0
+            heads.append(head)
+            if head < best_time:
+                best, best_time, best_index = arc, head, index
+        # How long `best` keeps winning: its next head must stay strictly
+        # below every earlier arc's head and at or below every later one's
+        # (ties go to the earlier arc in port order).
+        min_before = min(heads[:best_index], default=float("inf"))
+        min_after = min(heads[best_index + 1:], default=float("inf"))
+        limit = min(budget, len(best.queue))
+        n = 0
+        for head in islice(best.queue_times, limit):
+            if head < min_before and head <= min_after:
+                n += 1
+            else:
+                break
+        if n == 0:
+            # No head times at all (tuples pushed outside the engine):
+            # the scalar path treats the head as infinitely old, so this
+            # arc keeps winning for the whole run.
+            n = limit
+        return best, n
+
     def _oldest_input_arc(self, box: Box) -> Arc | None:
         """The input arc whose head tuple was enqueued earliest."""
         best: Arc | None = None
@@ -238,10 +393,10 @@ class AuroraEngine:
     def _push_downstream(self, box_id: str) -> float:
         """Push a train's outputs through downstream boxes (train scheduling)."""
         consumed = 0.0
-        frontier = list(dict.fromkeys(self.network.downstream_boxes(box_id)))
+        frontier = deque(dict.fromkeys(self.network.downstream_boxes(box_id)))
         seen = set(frontier)
         while frontier:
-            current = frontier.pop(0)
+            current = frontier.popleft()
             box = self.network.boxes[current]
             if box.queued() == 0:
                 continue
@@ -262,9 +417,54 @@ class AuroraEngine:
             else:
                 self._enqueue(arc, tup)
 
+    def _emit_batch(self, box: Box, emissions: list[tuple[int, StreamTuple]]) -> None:
+        """Route a whole train's emissions, appending per-arc lists.
+
+        Per-port emission order is preserved (each arc is fed from a
+        single source port, so per-arc queue order matches the scalar
+        path).  Arcs with connection points fall back to per-tuple
+        pushes — history recording, subscribers and choking are
+        per-tuple affairs.
+        """
+        if not emissions:
+            return
+        groups: dict[int, list[StreamTuple]] = {}
+        for out_port, tup in emissions:
+            group = groups.get(out_port)
+            if group is None:
+                groups[out_port] = group = [tup]
+            else:
+                group.append(tup)
+        output_arcs = box.output_arcs
+        for out_port, tuples in groups.items():
+            for arc in output_arcs.get(out_port, []):
+                kind, ref = arc.target
+                if arc.connection_point is not None:
+                    for tup in tuples:
+                        if kind == "out":
+                            if arc.push(tup):
+                                arc.queue.popleft()
+                                self._deliver(str(ref), tup)
+                        else:
+                            self._enqueue(arc, tup)
+                elif kind == "out":
+                    arc.tuples_transferred += len(tuples)
+                    self._deliver_batch(str(ref), tuples)
+                else:
+                    arc.queue.extend(tuples)
+                    arc.tuples_transferred += len(tuples)
+                    arc.queue_times.extend([self.clock] * len(tuples))
+
     def _deliver(self, output_name: str, tup: StreamTuple) -> None:
         self.outputs[output_name].append(tup)
         self.qos_monitor.record_output(output_name, self.clock - tup.timestamp)
+
+    def _deliver_batch(self, output_name: str, tuples: list[StreamTuple]) -> None:
+        self.outputs[output_name].extend(tuples)
+        record = self.qos_monitor.record_output
+        clock = self.clock
+        for tup in tuples:
+            record(output_name, clock - tup.timestamp)
 
     def run_until_idle(self, max_steps: int = 1_000_000) -> float:
         """Step until no box has queued input.  Returns time consumed."""

@@ -43,6 +43,25 @@ class Operator:
         """Consume one input tuple; return emissions."""
         raise NotImplementedError
 
+    def process_batch(self, tuples: list[StreamTuple], port: int = 0) -> list[Emission]:
+        """Consume a whole tuple train on one port; return its emissions.
+
+        The contract is exact equivalence with the scalar path: the
+        returned list is what concatenating ``process(t, port)`` over
+        ``tuples`` in order would produce, including emission order and
+        any internal-state / counter updates.  This default does exactly
+        that loop; hot operators override it with a vectorized fast path
+        that hoists per-tuple lookups and builds the output in one pass
+        (the engine's train scheduling then amortizes *execution*, not
+        just scheduling decisions).
+        """
+        emissions: list[Emission] = []
+        extend = emissions.extend
+        process = self.process
+        for tup in tuples:
+            extend(process(tup, port=port))
+        return emissions
+
     def flush(self) -> list[Emission]:
         """Drain windowed state at end-of-stream.  Stateless ops emit nothing."""
         return []

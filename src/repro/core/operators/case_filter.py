@@ -71,6 +71,31 @@ class CaseFilter(StatelessOperator):
         self.dropped += 1
         return []
 
+    def process_batch(self, tuples: list[StreamTuple], port: int = 0) -> list[Emission]:
+        """Vectorized fast path: hoisted predicate list, one output pass."""
+        if port != 0:
+            raise ValueError(f"CaseFilter has a single input port, got {port}")
+        predicates = self.predicates
+        routed = self.routed
+        else_port = self.n_outputs - 1 if self.with_else_port else None
+        dropped = 0
+        emissions: list[Emission] = []
+        append = emissions.append
+        for tup in tuples:
+            for index, predicate in enumerate(predicates):
+                if predicate(tup):
+                    routed[index] += 1
+                    append((index, tup))
+                    break
+            else:
+                if else_port is not None:
+                    routed[else_port] += 1
+                    append((else_port, tup))
+                else:
+                    dropped += 1
+        self.dropped += dropped
+        return emissions
+
     def describe(self) -> str:
         cases = ", ".join(self.predicate_names)
         suffix = ", else" if self.with_else_port else ""

@@ -50,6 +50,15 @@ class Filter(StatelessOperator):
             return [(1, tup)]
         return []
 
+    def process_batch(self, tuples: list[StreamTuple], port: int = 0) -> list[Emission]:
+        """Vectorized fast path: one predicate lookup, one output pass."""
+        if port != 0:
+            raise ValueError(f"Filter has a single input port, got {port}")
+        predicate = self.predicate
+        if self.with_false_port:
+            return [(0, t) if predicate(t) else (1, t) for t in tuples]
+        return [(0, t) for t in tuples if predicate(t)]
+
     def describe(self) -> str:
         suffix = ", with_false_port" if self.with_false_port else ""
         return f"Filter({self.predicate_name}{suffix})"

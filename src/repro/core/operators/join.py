@@ -71,6 +71,30 @@ class Join(Operator):
         self._buffers[port].append(tup)
         return emissions
 
+    def process_batch(self, tuples: list[StreamTuple], port: int = 0) -> list[Emission]:
+        """Vectorized fast path: hoisted buffers, predicate and merge."""
+        if port not in (0, 1):
+            raise ValueError(f"Join has input ports 0 and 1, got {port}")
+        own = self._buffers[port]
+        other = self._buffers[1 - port]
+        predicate = self.predicate
+        merge = self._merge
+        emissions: list[Emission] = []
+        append = emissions.append
+        if port == 0:
+            for tup in tuples:
+                for candidate in other:
+                    if predicate(tup, candidate):
+                        append((0, merge(tup, candidate)))
+                own.append(tup)
+        else:
+            for tup in tuples:
+                for candidate in other:
+                    if predicate(candidate, tup):
+                        append((0, merge(candidate, tup)))
+                own.append(tup)
+        return emissions
+
     def _merge(self, left: StreamTuple, right: StreamTuple) -> StreamTuple:
         # Shared fields with equal values (typically the join key) are
         # kept un-prefixed; genuine conflicts get side prefixes.

@@ -37,6 +37,17 @@ class Map(StatelessOperator):
             raise ValueError(f"Map has a single input port, got {port}")
         return [(0, tup.derive(self.func(tup.values)))]
 
+    def process_batch(self, tuples: list[StreamTuple], port: int = 0) -> list[Emission]:
+        """Vectorized fast path: hoisted function lookup, one output pass."""
+        if port != 0:
+            raise ValueError(f"Map has a single input port, got {port}")
+        func = self.func
+        make = StreamTuple
+        return [
+            (0, make(func(t.values), timestamp=t.timestamp, seq=t.seq, origin=t.origin))
+            for t in tuples
+        ]
+
     def describe(self) -> str:
         return f"Map({self.func_name})"
 

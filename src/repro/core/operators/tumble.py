@@ -25,7 +25,7 @@ from typing import Any
 
 from repro.core.aggregates import AggregateFunction, get_aggregate
 from repro.core.operators.base import Emission, Operator
-from repro.core.tuples import StreamTuple
+from repro.core.tuples import StreamTuple, key_getter
 
 
 class Tumble(Operator):
@@ -70,6 +70,7 @@ class Tumble(Operator):
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         self.groupby = tuple(groupby)
+        self._key_of = key_getter(self.groupby)
         self.value_attr = value_attr
         self.result_attr = result_attr
         self.mode = mode
@@ -102,6 +103,85 @@ class Tumble(Operator):
             return timed_out + self._process_run(tup)
         return timed_out + self._process_count(tup)
 
+    def process_batch(self, tuples: list[StreamTuple], port: int = 0) -> list[Emission]:
+        """Vectorized group-partition inner loop.
+
+        Hoists the aggregate's update function, the compiled groupby-key
+        getter and the window table out of the per-tuple path and builds
+        the output batch in one pass.  The timeout variant interleaves
+        window firing with arrival order, so it keeps the exact scalar
+        loop (the base-class fallback).
+        """
+        if port != 0:
+            raise ValueError(f"Tumble has a single input port, got {port}")
+        if not tuples or self.timeout != float("inf"):
+            return super().process_batch(tuples, port=port)
+        agg = self.agg
+        update = agg.update
+        key_of = self._key_of
+        value_attr = self.value_attr
+        groupby = self.groupby
+        result_attr = self.result_attr
+        emissions: list[Emission] = []
+        append = emissions.append
+        emitted = 0
+        if self.mode == "run":
+            run_key = self._run_key
+            run_state = self._run_state
+            run_first = self._run_first
+            run_deps = self._run_deps
+            for tup in tuples:
+                values = tup.values
+                key = key_of(values)
+                if key != run_key:
+                    if run_key is not None:
+                        out = dict(zip(groupby, run_key))
+                        out[result_attr] = agg.result(run_state)
+                        append((0, run_first.derive(out)))
+                        emitted += 1
+                    run_key = key
+                    run_state = agg.initial()
+                    run_first = tup
+                    run_deps = {}
+                run_state = update(run_state, values[value_attr])
+                if tup.seq is not None and tup.origin is not None:
+                    current = run_deps.get(tup.origin)
+                    if current is None or tup.seq < current:
+                        run_deps[tup.origin] = tup.seq
+            self._run_key = run_key
+            self._run_state = run_state
+            self._run_first = run_first
+            self._run_deps = run_deps
+        else:
+            windows = self._windows
+            window_size = self.window_size or 1
+            initial = agg.initial
+            for tup in tuples:
+                values = tup.values
+                key = key_of(values)
+                entry = windows.get(key)
+                if entry is None:
+                    state, count, first, deps = initial(), 0, tup, {}
+                else:
+                    state, count, first, deps = entry
+                state = update(state, values[value_attr])
+                count += 1
+                if tup.seq is not None and tup.origin is not None:
+                    current = deps.get(tup.origin)
+                    if current is None or tup.seq < current:
+                        deps[tup.origin] = tup.seq
+                if count >= window_size:
+                    windows.pop(key, None)
+                    out = dict(zip(groupby, key))
+                    out[result_attr] = agg.result(state)
+                    append((0, first.derive(out)))
+                    emitted += 1
+                else:
+                    windows[key] = (state, count, first, deps)
+        self._last_arrival = tuples[-1].timestamp
+        self.windows_emitted += emitted
+        return emissions
+
     def _fire_timeouts(self, now: float) -> list[Emission]:
         """Emit windows stale for longer than the timeout (the footnote's
         'when an aggregate times out' parameter)."""
@@ -118,7 +198,7 @@ class Tumble(Operator):
     # -- run-based windows (paper's Figure 2 semantics) -------------------
 
     def _process_run(self, tup: StreamTuple) -> list[Emission]:
-        key = tup.key(self.groupby)
+        key = self._key_of(tup.values)
         emissions: list[Emission] = []
         if self._run_key is not None and key != self._run_key:
             emissions.append((0, self._emit_run()))
@@ -144,7 +224,7 @@ class Tumble(Operator):
     # -- count-based windows (extension) -----------------------------------
 
     def _process_count(self, tup: StreamTuple) -> list[Emission]:
-        key = tup.key(self.groupby)
+        key = self._key_of(tup.values)
         state, count, first, deps = self._windows.get(
             key, (self.agg.initial(), 0, tup, {})
         )

@@ -26,5 +26,11 @@ class Union(StatelessOperator):
             raise ValueError(f"Union({self.arity}) has no input port {port}")
         return [(0, tup)]
 
+    def process_batch(self, tuples: list[StreamTuple], port: int = 0) -> list[Emission]:
+        """Vectorized fast path: one port check, one output pass."""
+        if not 0 <= port < self.arity:
+            raise ValueError(f"Union({self.arity}) has no input port {port}")
+        return [(0, t) for t in tuples]
+
     def describe(self) -> str:
         return f"Union({self.arity})"

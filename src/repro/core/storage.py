@@ -107,6 +107,37 @@ class StorageManager:
             headroom -= bring_back
         return charged
 
+    def charge_consume_batch(self, arc: Arc, count: int) -> tuple[float, int]:
+        """Account for a box consuming ``count`` queued tuples at once.
+
+        Exactly equivalent to ``count`` successive
+        :meth:`charge_consume`/``popleft`` pairs, performed before any
+        tuple is actually popped.  Returns ``(total_cost, first_read)``:
+        the aggregate I/O time, and the index of the first consumed
+        tuple that incurred a spilled read (``count`` if none did) — the
+        engine uses the index to interleave read charges into its
+        per-tuple clock chain exactly as the scalar path would.
+        """
+        spilled = self.spilled_on(arc)
+        if spilled == 0 or count <= 0:
+            return 0.0, count
+        # Spilled tuples are the queue's tail: pops start hitting disk
+        # once the in-memory prefix (len - spilled) is exhausted, and
+        # every pop after that is a read (both lengths shrink together).
+        first_read = max(0, len(arc.queue) - spilled)
+        if first_read >= count:
+            return 0.0, count
+        reads = count - first_read
+        remaining = spilled - reads
+        if remaining:
+            self._spilled[arc.id] = remaining
+        else:
+            self._spilled.pop(arc.id, None)
+        self.tuples_unspilled += reads
+        cost = reads * self.read_cost
+        self.io_time += cost
+        return cost, first_read
+
     def charge_consume(self, arc: Arc) -> float:
         """Account for a box consuming one tuple from ``arc``.
 

@@ -166,8 +166,9 @@ class AuroraStarSystem:
                 # The event must cross from the ingress node to the
                 # consumer's node.
                 from repro.network.overlay import Message
+                from repro.network.transport import train_frame_size
 
-                size = self.message_header_bytes + self.tuple_bytes
+                size = train_frame_size(1, self.tuple_bytes, self.message_header_bytes)
                 message = Message("tuples", {"arc": arc.id, "tuples": [tup]}, size=size)
                 self.overlay.send(ingress, self.place(str(kind)), message)
             else:

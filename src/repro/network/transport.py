@@ -34,9 +34,17 @@ from typing import Callable
 
 
 class StreamMessage:
-    """One application message on a logical stream."""
+    """One application message on a logical stream.
+
+    ``tuple_count`` is the number of application tuples the message
+    carries (1 for a plain message; trains set it higher) — delivery
+    statistics count tuples as well as messages, so batched and scalar
+    transports are comparable tuple-for-tuple.
+    """
 
     __slots__ = ("stream", "size", "enqueued_at", "delivered_at")
+
+    tuple_count = 1
 
     def __init__(self, stream: str, size: int, enqueued_at: float = 0.0):
         if size <= 0:
@@ -50,12 +58,56 @@ class StreamMessage:
         return f"StreamMessage({self.stream}, {self.size}B)"
 
 
+def train_frame_size(tuple_count: int, tuple_bytes: int, header_bytes: int) -> int:
+    """Wire size of one multi-tuple frame: one header, n payloads.
+
+    The batched transport framing: a whole tuple train ships as a
+    single frame, paying the per-message header once instead of once
+    per tuple (the same amortization train scheduling buys the engine).
+    """
+    if tuple_count < 1:
+        raise ValueError("a tuple train frame carries at least one tuple")
+    return header_bytes + tuple_count * tuple_bytes
+
+
+class TupleTrainMessage(StreamMessage):
+    """One wire frame carrying a whole tuple train.
+
+    Section 2.3's trains meet Section 4.3's transport: remote arcs ship
+    one frame per train instead of one message per tuple.  The frame's
+    size is :func:`train_frame_size`; per-stream delivery statistics
+    account all ``tuple_count`` tuples on delivery (and lose them all
+    together on a drop — the frame is the unit of loss).
+    """
+
+    __slots__ = ("tuple_count",)
+
+    def __init__(
+        self,
+        stream: str,
+        tuple_count: int,
+        tuple_bytes: int,
+        header_bytes: int = 24,
+        enqueued_at: float = 0.0,
+    ):
+        super().__init__(
+            stream,
+            size=train_frame_size(tuple_count, tuple_bytes, header_bytes),
+            enqueued_at=enqueued_at,
+        )
+        self.tuple_count = tuple_count
+
+    def __repr__(self) -> str:
+        return f"TupleTrainMessage({self.stream}, {self.tuple_count} tuples, {self.size}B)"
+
+
 class TransportStats:
     """Per-run delivery statistics shared by both transports."""
 
     def __init__(self) -> None:
         self.delivered_bytes: dict[str, int] = {}
         self.delivered_messages: dict[str, int] = {}
+        self.delivered_tuples: dict[str, int] = {}
         self.overhead_bytes = 0
         self.connections_used = 0
         self.dropped_messages = 0
@@ -66,6 +118,9 @@ class TransportStats:
         )
         self.delivered_messages[message.stream] = (
             self.delivered_messages.get(message.stream, 0) + 1
+        )
+        self.delivered_tuples[message.stream] = (
+            self.delivered_tuples.get(message.stream, 0) + message.tuple_count
         )
 
     def share(self, stream: str) -> float:

@@ -1,0 +1,133 @@
+"""Tuple-train framing on the transports (Section 2.3 meets 4.3).
+
+A whole train ships as one :class:`TupleTrainMessage` frame: one
+header, n payloads.  These tests pin the frame arithmetic, the
+per-stream tuple accounting that makes batched and scalar transports
+comparable tuple-for-tuple, the bandwidth saved by amortizing headers,
+and the sharper edges: weighted shares are preserved under framing,
+and the frame is the unit of loss.
+"""
+
+import pytest
+
+from repro.network.transport import (
+    MultiplexedTransport,
+    PerStreamTransport,
+    StreamMessage,
+    TupleTrainMessage,
+    train_frame_size,
+)
+
+
+class TestTrainFrameSize:
+    def test_one_header_n_payloads(self):
+        assert train_frame_size(1, 100, 24) == 124
+        assert train_frame_size(10, 100, 24) == 24 + 1000
+        assert train_frame_size(3, 50, 0) == 150
+
+    def test_single_tuple_frame_equals_plain_message_size(self):
+        plain = StreamMessage("s", size=100 + 24)
+        train = TupleTrainMessage("s", 1, 100, header_bytes=24)
+        assert train.size == plain.size
+
+    def test_rejects_empty_trains(self):
+        with pytest.raises(ValueError):
+            train_frame_size(0, 100, 24)
+        with pytest.raises(ValueError):
+            TupleTrainMessage("s", 0, 100)
+
+    def test_tuple_count_attribute(self):
+        assert StreamMessage("s", size=10).tuple_count == 1
+        assert TupleTrainMessage("s", 7, 100).tuple_count == 7
+
+
+class TestTupleAccounting:
+    def test_delivered_tuples_counts_train_contents(self):
+        transport = MultiplexedTransport(bandwidth=1e6)
+        transport.enqueue(TupleTrainMessage("s", 5, 100))
+        transport.enqueue(TupleTrainMessage("s", 3, 100))
+        transport.enqueue(StreamMessage("s", size=100))
+        stats = transport.run(duration=10.0)
+        assert stats.delivered_tuples["s"] == 9
+        assert stats.delivered_messages["s"] == 3
+
+    def test_scalar_and_batched_deliver_the_same_tuples(self):
+        n, train = 120, 10
+        scalar = MultiplexedTransport(bandwidth=1e6)
+        for _ in range(n):
+            scalar.enqueue(StreamMessage("s", size=124))
+        batched = MultiplexedTransport(bandwidth=1e6)
+        for _ in range(n // train):
+            batched.enqueue(TupleTrainMessage("s", train, 100, header_bytes=24))
+        scalar_stats = scalar.run(duration=100.0)
+        batched_stats = batched.run(duration=100.0)
+        assert (
+            scalar_stats.delivered_tuples["s"]
+            == batched_stats.delivered_tuples["s"]
+            == n
+        )
+
+    def test_per_stream_transport_counts_tuples_too(self):
+        transport = PerStreamTransport(bandwidth=1e6)
+        transport.enqueue(TupleTrainMessage("s", 4, 100))
+        transport.enqueue(TupleTrainMessage("t", 2, 100))
+        stats = transport.run(duration=10.0)
+        assert stats.delivered_tuples == {"s": 4, "t": 2}
+
+
+class TestFramingAmortization:
+    def test_trains_ship_fewer_bytes_for_the_same_tuples(self):
+        """n tuples as one frame carry one header instead of n."""
+        n, tuple_bytes, header = 50, 100, 24
+        singles = sum(train_frame_size(1, tuple_bytes, header) for _ in range(n))
+        framed = train_frame_size(n, tuple_bytes, header)
+        assert framed == singles - (n - 1) * header
+
+    def test_trains_finish_sooner_on_the_wire(self):
+        """Same tuples, same bandwidth: the batched transport is done
+        while the scalar one is still transmitting headers."""
+        n, train = 200, 20
+        bandwidth = 1e5
+
+        def drained_after(transport, duration):
+            stats = transport.run(duration=duration)
+            return stats.delivered_tuples.get("s", 0)
+
+        scalar = MultiplexedTransport(bandwidth=bandwidth, framing_overhead=24)
+        for _ in range(n):
+            scalar.enqueue(StreamMessage("s", size=100))
+        batched = MultiplexedTransport(bandwidth=bandwidth, framing_overhead=24)
+        for _ in range(n // train):
+            batched.enqueue(TupleTrainMessage("s", train, 100, header_bytes=0))
+        # Window sized so the batched frames all fit but the scalar
+        # stream's extra per-message headers do not.
+        window = (n * 100 + (n // train) * 24 + 100) / bandwidth
+        assert drained_after(batched, window) == n
+        assert drained_after(scalar, window) < n
+
+
+class TestWeightedSharingWithFrames:
+    def test_wfq_shares_hold_for_train_frames(self):
+        """Weighted fair queueing sees frames, but the prescribed
+        bandwidth ratios still hold tuple-for-tuple."""
+        transport = MultiplexedTransport(
+            bandwidth=1e5, weights={"a": 3.0, "b": 1.0}, framing_overhead=4
+        )
+        for _ in range(300):
+            transport.enqueue(TupleTrainMessage("a", 10, 100))
+            transport.enqueue(TupleTrainMessage("b", 10, 100))
+        stats = transport.run(duration=1.0)  # not enough for everything
+        assert stats.share("a") == pytest.approx(0.75, abs=0.05)
+
+    def test_frame_is_the_unit_of_loss(self):
+        """Dropping one frame loses the whole train, not one tuple."""
+        drop_second = iter([False, True, False])
+        transport = MultiplexedTransport(
+            bandwidth=1e6, loss_hook=lambda _m: next(drop_second)
+        )
+        for _ in range(3):
+            transport.enqueue(TupleTrainMessage("s", 10, 100))
+        stats = transport.run(duration=10.0)
+        assert stats.dropped_messages == 1
+        assert stats.delivered_tuples["s"] == 20
+        assert stats.delivered_messages["s"] == 2
