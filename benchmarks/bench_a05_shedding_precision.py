@@ -13,7 +13,6 @@ graphs — the continuum of acceptable answers made quantitative.
 
 import random
 
-import pytest
 
 from repro.core.builder import QueryBuilder
 from repro.core.engine import AuroraEngine

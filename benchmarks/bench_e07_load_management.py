@@ -12,7 +12,6 @@ queue backlogs with and without the daemons.
 
 from repro.core.operators.map import Map
 from repro.core.query import QueryNetwork
-from repro.core.tuples import make_stream
 from repro.distributed.daemon import start_daemons
 from repro.distributed.policy import Thresholds
 from repro.distributed.system import AuroraStarSystem

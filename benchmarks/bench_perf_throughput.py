@@ -20,10 +20,15 @@ Topologies:
 Run standalone to emit ``BENCH_PERF.json``::
 
     PYTHONPATH=src python benchmarks/bench_perf_throughput.py \
-        [--tuples N] [--train N] [--repeats N] [--out PATH] [--check]
+        [--tuples N] [--train N] [--repeats N] [--out PATH] [--check] \
+        [--baseline PATH]
 
 ``--check`` exits non-zero if any batch path is slower than its scalar
-counterpart (the CI perf-smoke gate).
+counterpart, or if the observability layer costs more than 5% of batch
+throughput (the CI perf-smoke gate).  ``--baseline`` additionally fails
+the check when any scenario's batch speedup regresses more than 20%
+below a committed ``BENCH_PERF.json`` (skipped with a warning when the
+baseline was recorded at a different workload config).
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from repro.core.operators.map import Map
 from repro.core.operators.tumble import Tumble
 from repro.core.query import QueryNetwork
 from repro.core.tuples import make_stream
+from repro.obs.registry import MetricsRegistry
 from repro.network.transport import (
     MultiplexedTransport,
     StreamMessage,
@@ -101,13 +107,15 @@ def make_workload(n_tuples: int):
 # -- engine measurement -------------------------------------------------------
 
 
-def run_engine_once(build, stream, batch: bool, train_size: int):
+def run_engine_once(build, stream, batch: bool, train_size: int,
+                    metrics: MetricsRegistry | None = None):
     net, outputs = build()
     engine = AuroraEngine(
         net,
         train_size=train_size,
         batch_execution=batch,
         scheduling_overhead=0.002,
+        metrics=metrics,
     )
     start = time.perf_counter()
     engine.push_many("src", stream)
@@ -141,6 +149,37 @@ def measure_engine(build, stream, train_size: int, repeats: int):
         "outputs_match": scalar_out == batch_out,
         "virtual_time_match": scalar_clock == batch_clock,
         "virtual_time": scalar_clock,
+    }
+
+
+def measure_obs_overhead(build, stream, train_size: int, repeats: int):
+    """Batch-path throughput with the metrics registry on vs off.
+
+    The registry is designed to stay enabled in production (train-level
+    increments, cached handles), so the gate is tight: enabled must keep
+    >= 95% of disabled throughput.  Each repeat runs the two modes
+    back-to-back and the best paired ratio wins, so host-level load
+    drift between repeats cannot masquerade as registry overhead.
+    """
+    best = {"disabled": float("inf"), "enabled": float("inf")}
+    best_ratio = 0.0
+    reference = {}
+    for _ in range(max(repeats, 3)):
+        paired = {}
+        for mode, enabled in (("disabled", False), ("enabled", True)):
+            elapsed, emitted, clock = run_engine_once(
+                build, stream, True, train_size,
+                metrics=MetricsRegistry(enabled=enabled),
+            )
+            paired[mode] = elapsed
+            best[mode] = min(best[mode], elapsed)
+            reference[mode] = (emitted, clock)
+        best_ratio = max(best_ratio, paired["disabled"] / paired["enabled"])
+    return {
+        "disabled_tps": round(len(stream) / best["disabled"]),
+        "enabled_tps": round(len(stream) / best["enabled"]),
+        "ratio": round(min(best_ratio, 1.0), 3),
+        "outputs_match": reference["disabled"] == reference["enabled"],
     }
 
 
@@ -210,6 +249,9 @@ def run_suite(n_tuples: int = DEFAULT_TUPLES, train_size: int = DEFAULT_TRAIN,
             "fanout": measure_engine(fanout_network, stream, train_size, repeats),
             "window": measure_engine(window_network, stream, train_size, repeats),
             "transport": measure_transport(n_tuples, train_size, repeats),
+            "obs_overhead": measure_obs_overhead(
+                pipeline_network, stream, train_size, repeats
+            ),
         },
     }
     return report
@@ -223,22 +265,79 @@ def print_report(report: dict) -> None:
     print(f"  {'topology':10s} {'scalar tps':>12s} {'batch tps':>12s} "
           f"{'speedup':>8s}  outputs")
     for name, row in report["results"].items():
+        if "ratio" in row:
+            continue
         match = "identical" if row["outputs_match"] else "DIVERGED"
         print(f"  {name:10s} {row['scalar_tps']:12,d} {row['batch_tps']:12,d} "
               f"{row['speedup']:7.2f}x  {match}")
+    obs = report["results"].get("obs_overhead")
+    if obs:
+        print(f"  obs layer  {obs['disabled_tps']:12,d} (off) "
+              f"{obs['enabled_tps']:,d} (on)  "
+              f"{obs['ratio'] * 100:.1f}% throughput retained")
 
 
-def check_report(report: dict) -> list[str]:
-    """The CI gate: batch must not be slower anywhere, outputs must match."""
+OBS_OVERHEAD_FLOOR = 0.95
+BASELINE_TOLERANCE = 0.8
+
+
+def check_report(report: dict, baseline: dict | None = None) -> list[str]:
+    """The CI gate: batch must not be slower anywhere, outputs must
+    match, the obs layer must cost < 5%, and no scenario may regress
+    more than 20% below the committed baseline speedup."""
     failures = []
     for name, row in report["results"].items():
         if not row["outputs_match"]:
             failures.append(f"{name}: batch outputs diverged from scalar")
         if row.get("virtual_time_match") is False:
             failures.append(f"{name}: virtual clocks diverged")
+        if "ratio" in row:
+            if row["ratio"] < OBS_OVERHEAD_FLOOR:
+                failures.append(
+                    f"{name}: metrics registry costs too much "
+                    f"({(1 - row['ratio']) * 100:.1f}% of batch throughput, "
+                    f"limit {(1 - OBS_OVERHEAD_FLOOR) * 100:.0f}%)"
+                )
+            continue
         if row["speedup"] < 1.0:
             failures.append(
                 f"{name}: batch path slower than scalar ({row['speedup']:.2f}x)"
+            )
+    if baseline is not None:
+        failures += check_against_baseline(report, baseline)
+    return failures
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list[str]:
+    """Fail scenarios whose speedup regressed >20% below the baseline.
+
+    Speedup (batch tps / scalar tps on the same host) is the one number
+    here that transfers across machines, which is what makes a committed
+    baseline meaningful in CI.  A baseline recorded at a different
+    workload config is not comparable; warn and skip instead of failing.
+    """
+    current_cfg = {k: report["config"][k] for k in ("tuples", "train_size", "repeats")}
+    baseline_cfg = {
+        k: baseline.get("config", {}).get(k)
+        for k in ("tuples", "train_size", "repeats")
+    }
+    if current_cfg != baseline_cfg:
+        print(
+            f"WARN: baseline config {baseline_cfg} != current {current_cfg}; "
+            "skipping baseline comparison",
+            file=sys.stderr,
+        )
+        return []
+    failures = []
+    for name, row in report["results"].items():
+        base_row = baseline.get("results", {}).get(name)
+        if base_row is None or "speedup" not in row or "speedup" not in base_row:
+            continue
+        floor = base_row["speedup"] * BASELINE_TOLERANCE
+        if row["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {row['speedup']:.2f}x regressed below "
+                f"{floor:.2f}x (baseline {base_row['speedup']:.2f}x - 20%)"
             )
     return failures
 
@@ -255,6 +354,24 @@ def test_perf_throughput_smoke():
             assert row["virtual_time_match"], f"{name}: virtual clocks diverged"
 
 
+def test_baseline_comparison_skips_on_config_mismatch(capsys):
+    report = run_suite(n_tuples=200, train_size=20, repeats=1)
+    baseline = json.loads(json.dumps(report))
+    baseline["config"]["tuples"] = 999
+    assert check_against_baseline(report, baseline) == []
+    assert "skipping baseline comparison" in capsys.readouterr().err
+
+
+def test_baseline_comparison_flags_regression():
+    report = run_suite(n_tuples=200, train_size=20, repeats=1)
+    baseline = json.loads(json.dumps(report))
+    baseline["results"]["pipeline"]["speedup"] = (
+        report["results"]["pipeline"]["speedup"] * 10
+    )
+    failures = check_against_baseline(report, baseline)
+    assert any(f.startswith("pipeline:") for f in failures)
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -266,8 +383,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_PERF.json")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if the batch path is slower "
-                             "than scalar or outputs diverge")
+                             "than scalar, outputs diverge, or the obs "
+                             "layer costs more than 5%")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_PERF.json to compare "
+                             "speedups against under --check")
     args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
 
     report = run_suite(args.tuples, args.train, args.repeats)
     print_report(report)
@@ -277,7 +403,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwrote {args.out}")
 
     if args.check:
-        failures = check_report(report)
+        failures = check_report(report, baseline)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if failures else 0

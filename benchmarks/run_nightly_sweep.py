@@ -1,0 +1,120 @@
+"""Nightly full-scale fault sweep (CI's scheduled job).
+
+Runs the deterministic fault-injection harness at full width — 100
+seeded chain scenarios plus a band of overlay/heartbeat scenarios —
+with every invariant checker armed, and writes a JSON report and one
+violation file per failing scenario.  PR-time CI runs the same sweep at
+25 seeds; this job exists to keep the long tail of seeds honest without
+slowing down every pull request.
+
+    PYTHONPATH=src python benchmarks/run_nightly_sweep.py \
+        [--seeds N] [--overlay-seeds N] [--master-seed N] [--out-dir DIR]
+
+Exits non-zero if any scenario violated an invariant; the report and
+violation files are written either way so the workflow can upload them
+as artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.sim.scenarios import run_overlay_scenario, sweep_chain_scenarios
+
+DEFAULT_MASTER_SEED = 20030112
+DEFAULT_CHAIN_SEEDS = 100
+DEFAULT_OVERLAY_SEEDS = 10
+
+
+def run_sweep(master_seed: int, n_chain: int, n_overlay: int, out_dir: Path) -> dict:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report: dict = {
+        "suite": "nightly_fault_sweep",
+        "config": {
+            "master_seed": master_seed,
+            "chain_seeds": n_chain,
+            "overlay_seeds": n_overlay,
+        },
+        "chain": {},
+        "overlay": {},
+        "violations": 0,
+    }
+
+    sweep = sweep_chain_scenarios(master_seed, n=n_chain)
+    print(sweep.summary())
+    report["chain"] = {
+        "scenarios": sweep.n_scenarios,
+        "failures": len(sweep.failures),
+        "crashes": sweep.total("crashes"),
+        "partitions": sweep.total("partitions"),
+        "recoveries": sweep.total("recoveries"),
+        "tuples_replayed": sweep.total("tuples_replayed"),
+        "tuples_truncated": sweep.total("tuples_truncated"),
+        "delivered": sweep.total("delivered"),
+    }
+    for result in sweep.failures:
+        report["violations"] += len(result.violations)
+        path = out_dir / f"violation-chain-seed{result.spec.seed}.txt"
+        path.write_text(
+            result.spec.describe() + "\n\n"
+            + "\n".join(result.violations) + "\n\n"
+            + result.trace_text() + "\n"
+        )
+        print(f"FAILED: {result.spec.describe()} -> {path}", file=sys.stderr)
+
+    overlay_failures = 0
+    overlay_detections = 0
+    for seed in range(1, n_overlay + 1):
+        result = run_overlay_scenario(seed=seed)
+        overlay_detections += len(result.detections)
+        if not result.ok:
+            overlay_failures += 1
+            report["violations"] += len(result.violations)
+            path = out_dir / f"violation-overlay-seed{seed}.txt"
+            path.write_text(
+                f"overlay seed {seed}\n\n"
+                + "\n".join(result.violations) + "\n\n"
+                + result.trace_text + "\n"
+            )
+            print(f"FAILED: overlay seed {seed} -> {path}", file=sys.stderr)
+    report["overlay"] = {
+        "scenarios": n_overlay,
+        "failures": overlay_failures,
+        "detections": overlay_detections,
+    }
+    print(f"overlay sweep: {n_overlay} scenarios, {overlay_failures} failure(s), "
+          f"{overlay_detections} detections")
+
+    report_path = out_dir / "nightly-report.json"
+    with report_path.open("w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {report_path}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=DEFAULT_CHAIN_SEEDS,
+                        help="number of chain fault scenarios")
+    parser.add_argument("--overlay-seeds", type=int,
+                        default=DEFAULT_OVERLAY_SEEDS,
+                        help="number of overlay/heartbeat scenarios")
+    parser.add_argument("--master-seed", type=int, default=DEFAULT_MASTER_SEED)
+    parser.add_argument("--out-dir", default="nightly-report")
+    args = parser.parse_args(argv)
+
+    report = run_sweep(
+        args.master_seed, args.seeds, args.overlay_seeds, Path(args.out_dir)
+    )
+    if report["violations"]:
+        print(f"{report['violations']} invariant violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,8 @@ from repro.core.scheduler import RoundRobinScheduler, Scheduler
 from repro.core.shedder import LoadShedder
 from repro.core.storage import StorageManager
 from repro.core.tuples import StreamTuple
+from repro.obs.registry import Counter, MetricsRegistry
+from repro.obs.trace import Tracer
 
 
 class AuroraEngine:
@@ -54,6 +56,13 @@ class AuroraEngine:
         shedder: load shedder; None disables shedding.
         load_window: horizon (virtual seconds) over which queued work is
             compared against capacity to compute the load factor.
+        metrics: observability registry (:mod:`repro.obs`).  Enabled by
+            default; all updates are batch-aware (one increment per
+            train), so the cost is a handful of handle calls per
+            scheduling decision.  Pass ``MetricsRegistry(enabled=False)``
+            to strip even that.
+        tracer: trace-span recorder; None (the default) disables
+            per-tuple lineage tracing entirely.
     """
 
     def __init__(
@@ -69,6 +78,8 @@ class AuroraEngine:
         shedder: LoadShedder | None = None,
         load_window: float = 1.0,
         batch_execution: bool = True,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         network.validate()
         if train_size < 1:
@@ -87,6 +98,23 @@ class AuroraEngine:
         self.load_window = load_window
         self.batch_execution = batch_execution
         self.catalog = LocalCatalog()
+
+        # Observability (repro.obs): metrics stay on by default — every
+        # update below is per-train, never per-tuple — and tracing is
+        # opt-in via the tracer's sampling knob.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._tracing = tracer is not None and tracer.active
+        self.storage.bind_metrics(self.metrics)
+        self._m_tuples = self.metrics.counter("engine.tuples_processed")
+        self._m_emitted = self.metrics.counter("engine.tuples_emitted")
+        self._m_train_hist = self.metrics.histogram("engine.train.tuples")
+        self._m_decisions: dict[str, Counter] = {}
+        self._m_box_in: dict[str, Counter] = {}
+        self._m_box_out: dict[str, Counter] = {}
+        self._m_ingest: dict[str, Counter] = {}
+        self._m_delivered: dict[str, Counter] = {}
+        self._m_shed: dict[str, Counter] = {}
 
         self.clock = 0.0
         self.steps = 0
@@ -154,6 +182,22 @@ class AuroraEngine:
         self._input_reach_cache[input_name] = result
         return result
 
+    # -- observability handle caches ------------------------------------------
+
+    def _counter_for(
+        self, cache: dict[str, Counter], name: str, label: str, value: str
+    ) -> Counter:
+        handle = cache.get(value)
+        if handle is None:
+            handle = cache[value] = self.metrics.counter(name, **{label: value})
+        return handle
+
+    def record_shed(self, input_name: str) -> None:
+        """Account one shedder drop at an input (called by the shedder)."""
+        self._counter_for(
+            self._m_shed, "engine.shed.dropped", "input", input_name
+        ).inc()
+
     # -- ingestion -------------------------------------------------------------
 
     def push(self, input_name: str, tup: StreamTuple) -> bool:
@@ -168,6 +212,16 @@ class AuroraEngine:
         self.clock = max(self.clock, tup.timestamp)
         if self.shedder is not None and not self.shedder.admit(self, input_name):
             return False
+        self._counter_for(
+            self._m_ingest, "engine.ingest.tuples", "input", input_name
+        ).inc()
+        if self._tracing:
+            # Ingestion is authoritative: stamp a fresh context for
+            # sampled tuples and clear any stale one left over from a
+            # prior engine run over the same tuple objects.
+            tup.trace = self.tracer.start_trace(
+                f"source:{input_name}", at=tup.timestamp
+            )
         for arc in self.network.inputs[input_name]:
             self._enqueue(arc, tup)
         return True
@@ -190,14 +244,22 @@ class AuroraEngine:
             queue_times = arc.queue_times
             clock = self.clock
             admitted = 0
+            tracing = self._tracing
             for tup in tuples:
                 if tup.timestamp > clock:
                     clock = tup.timestamp
+                if tracing:
+                    tup.trace = self.tracer.start_trace(
+                        f"source:{input_name}", at=tup.timestamp
+                    )
                 queue.append(tup)
                 queue_times.append(clock)
                 admitted += 1
             arc.tuples_transferred += admitted
             self.clock = clock
+            self._counter_for(
+                self._m_ingest, "engine.ingest.tuples", "input", input_name
+            ).inc(admitted)
             return admitted
         admitted = 0
         for tup in tuples:
@@ -216,6 +278,9 @@ class AuroraEngine:
         box_id = self.scheduler.choose(self)
         if box_id is None:
             return 0.0
+        self._counter_for(
+            self._m_decisions, "engine.scheduler.decisions", "box", box_id
+        ).inc()
         self.clock += self.scheduling_overhead
         consumed = self.scheduling_overhead
         consumed += self._run_train(box_id)
@@ -233,13 +298,33 @@ class AuroraEngine:
         """Process up to ``train_size`` tuples at one box."""
         box = self.network.boxes[box_id]
         budget = self.train_size if limit is None else limit
+        in_before = box.tuples_in
+        out_before = box.tuples_out
         if self.batch_execution:
-            return self._run_train_batched(box, budget)
-        return self._run_train_scalar(box, budget)
+            consumed = self._run_train_batched(box, budget)
+        else:
+            consumed = self._run_train_scalar(box, budget)
+        # Batch-aware accounting: one update set per train, identical
+        # totals on the scalar and batched paths.
+        n = box.tuples_in - in_before
+        if n:
+            self._counter_for(
+                self._m_box_in, "engine.box.tuples_in", "box", box_id
+            ).inc(n)
+            emitted = box.tuples_out - out_before
+            if emitted:
+                self._counter_for(
+                    self._m_box_out, "engine.box.tuples_out", "box", box_id
+                ).inc(emitted)
+                self._m_emitted.inc(emitted)
+            self._m_tuples.inc(n)
+            self._m_train_hist.observe(n)
+        return consumed
 
     def _run_train_scalar(self, box: Box, budget: int) -> float:
         """The per-tuple reference path: one full engine round per tuple."""
         consumed = 0.0
+        tracing = self._tracing
         while budget > 0:
             arc = self._oldest_input_arc(box)
             if arc is None:
@@ -256,6 +341,13 @@ class AuroraEngine:
             box.busy_time += cost
             box.tuples_in += 1
             self.tuples_processed += 1
+            if tracing and tup.trace is not None:
+                # Re-stamp before process() so emissions inherit the
+                # child context (derive() copies the trace field).
+                tup.trace = self.tracer.span(
+                    tup.trace, f"box:{box.id}",
+                    start=self.clock - cost, end=self.clock,
+                )
             for out_port, emitted in box.operator.process(tup, port=port):
                 box.tuples_out += 1
                 self._emit(box, out_port, emitted)
@@ -306,7 +398,8 @@ class AuroraEngine:
                 pop_time = queue_times.popleft
                 times = [pop_time() for _ in range(timed)]
             latency = 0.0
-            if first_read >= n and timed == n:
+            tracing = self._tracing
+            if first_read >= n and timed == n and not tracing:
                 # Common case: no spilled reads, timestamps in lockstep.
                 for enqueued_at in times:
                     clock += cost
@@ -322,6 +415,16 @@ class AuroraEngine:
                     clock += cost
                     consumed += cost
                     latency += clock - enqueued_at
+                    if tracing:
+                        tup = batch[i]
+                        if tup.trace is not None:
+                            # Same span, same clocks, as the scalar path
+                            # records for this tuple; re-stamped before
+                            # process_batch() so emissions inherit it.
+                            tup.trace = self.tracer.span(
+                                tup.trace, f"box:{box.id}",
+                                start=clock - cost, end=clock,
+                            )
             self.clock = clock
             box.busy_time += n * cost
             box.tuples_in += n
@@ -458,6 +561,14 @@ class AuroraEngine:
     def _deliver(self, output_name: str, tup: StreamTuple) -> None:
         self.outputs[output_name].append(tup)
         self.qos_monitor.record_output(output_name, self.clock - tup.timestamp)
+        self._counter_for(
+            self._m_delivered, "engine.delivered.tuples", "stream", output_name
+        ).inc()
+        if self._tracing and tup.trace is not None:
+            # Stamped with the tuple's source timestamp, not the engine
+            # clock: the batched path delivers at train-end clock, so
+            # only the timestamp is path-invariant.
+            self.tracer.event(tup.trace, f"deliver:{output_name}", at=tup.timestamp)
 
     def _deliver_batch(self, output_name: str, tuples: list[StreamTuple]) -> None:
         self.outputs[output_name].extend(tuples)
@@ -465,6 +576,16 @@ class AuroraEngine:
         clock = self.clock
         for tup in tuples:
             record(output_name, clock - tup.timestamp)
+        self._counter_for(
+            self._m_delivered, "engine.delivered.tuples", "stream", output_name
+        ).inc(len(tuples))
+        if self._tracing:
+            tracer = self.tracer
+            for tup in tuples:
+                if tup.trace is not None:
+                    tracer.event(
+                        tup.trace, f"deliver:{output_name}", at=tup.timestamp
+                    )
 
     def run_until_idle(self, max_steps: int = 1_000_000) -> float:
         """Step until no box has queued input.  Returns time consumed."""

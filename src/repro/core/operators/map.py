@@ -44,7 +44,8 @@ class Map(StatelessOperator):
         func = self.func
         make = StreamTuple
         return [
-            (0, make(func(t.values), timestamp=t.timestamp, seq=t.seq, origin=t.origin))
+            (0, make(func(t.values), timestamp=t.timestamp, seq=t.seq,
+                     origin=t.origin, trace=t.trace))
             for t in tuples
         ]
 

@@ -81,6 +81,7 @@ class LoadShedder:
             return True
         if self._rng.random() < p:
             self.tuples_dropped += 1
+            engine.record_shed(input_name)
             for output in engine.outputs_reachable_from_input(input_name):
                 engine.qos_monitor.record_shed(output)
             return False

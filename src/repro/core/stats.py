@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.query import QueryNetwork
+from repro.obs.registry import MetricsRegistry
 
 
 class EWMA:
@@ -99,8 +100,32 @@ class RateEstimator:
         return self._total
 
 
-def summarize_network(network: QueryNetwork) -> str:
-    """A tabular snapshot of every box's measured statistics."""
+def publish_network_stats(network: QueryNetwork, registry: MetricsRegistry) -> None:
+    """Publish every box's measured statistics as registry gauges.
+
+    Gauges carry the current value of the same per-box statistics that
+    :func:`summarize_network` tabulates (tuples in/out, selectivity,
+    average processing time) plus per-arc queue depths, so stats
+    monitors and exporters read one source of truth.
+    """
+    for box_id, box in network.boxes.items():
+        registry.gauge("box.tuples_in", box=box_id).set(box.tuples_in)
+        registry.gauge("box.tuples_out", box=box_id).set(box.tuples_out)
+        registry.gauge("box.selectivity", box=box_id).set(box.selectivity)
+        registry.gauge("box.average_time", box=box_id).set(box.average_time)
+    for arc_id, arc in network.arcs.items():
+        registry.gauge("arc.queue_depth", arc=arc_id).set(len(arc.queue))
+    registry.gauge("network.queued_tuples").set(network.total_queued())
+
+
+def summarize_network(network: QueryNetwork, registry: MetricsRegistry | None = None) -> str:
+    """A tabular snapshot of every box's measured statistics.
+
+    When ``registry`` is given, the same statistics are also published
+    as gauges via :func:`publish_network_stats` before rendering.
+    """
+    if registry is not None:
+        publish_network_stats(network, registry)
     header = (
         f"{'box':<22} {'operator':<38} {'in':>8} {'out':>8} "
         f"{'select':>7} {'T_B':>10}"

@@ -16,6 +16,7 @@ consumers (ad-hoc queries) are latency-insensitive.
 from __future__ import annotations
 
 from repro.core.query import Arc, QueryNetwork
+from repro.obs.registry import NULL_COUNTER, NULL_GAUGE, MetricsRegistry
 
 
 class StorageManager:
@@ -42,6 +43,18 @@ class StorageManager:
         self.tuples_spilled = 0
         self.tuples_unspilled = 0
         self.io_time = 0.0
+        # Registry handles; no-ops until bind_metrics() (the engine binds
+        # its registry at construction).  The int attributes above stay
+        # authoritative for existing callers.
+        self._m_spilled = NULL_COUNTER
+        self._m_unspilled = NULL_COUNTER
+        self._m_io_time = NULL_GAUGE
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Mirror spill accounting into an observability registry."""
+        self._m_spilled = registry.counter("storage.tuples_spilled")
+        self._m_unspilled = registry.counter("storage.tuples_unspilled")
+        self._m_io_time = registry.gauge("storage.io_time")
 
     def spilled_on(self, arc: Arc) -> int:
         """Tuples of ``arc``'s queue currently accounted as on disk."""
@@ -64,6 +77,7 @@ class StorageManager:
         else:
             charged += self._unspill(network, -overflow)
         self.io_time += charged
+        self._m_io_time.set(self.io_time)
         return charged
 
     def _victim_order(self, network: QueryNetwork) -> list[Arc]:
@@ -87,6 +101,7 @@ class StorageManager:
                 continue
             self._spilled[arc.id] = self.spilled_on(arc) + take
             self.tuples_spilled += take
+            self._m_spilled.inc(take)
             charged += take * self.write_cost
             amount -= take
         return charged
@@ -103,6 +118,7 @@ class StorageManager:
             if self._spilled[arc_id] == 0:
                 del self._spilled[arc_id]
             self.tuples_unspilled += bring_back
+            self._m_unspilled.inc(bring_back)
             charged += bring_back * self.read_cost
             headroom -= bring_back
         return charged
@@ -134,8 +150,10 @@ class StorageManager:
         else:
             self._spilled.pop(arc.id, None)
         self.tuples_unspilled += reads
+        self._m_unspilled.inc(reads)
         cost = reads * self.read_cost
         self.io_time += cost
+        self._m_io_time.set(self.io_time)
         return cost, first_read
 
     def charge_consume(self, arc: Arc) -> float:
@@ -151,6 +169,8 @@ class StorageManager:
             if self._spilled[arc.id] == 0:
                 del self._spilled[arc.id]
             self.tuples_unspilled += 1
+            self._m_unspilled.inc()
             self.io_time += self.read_cost
+            self._m_io_time.set(self.io_time)
             return self.read_cost
         return 0.0

@@ -88,9 +88,12 @@ class StreamTuple:
         seq: per-upstream-server sequence number assigned when the tuple
             crosses a server boundary (drives k-safety, Section 6.2).
         origin: name of the server/stream that assigned ``seq``.
+        trace: observability trace context (:mod:`repro.obs.trace`) for
+            sampled tuples; None (the overwhelmingly common case) for
+            unsampled ones.
     """
 
-    __slots__ = ("values", "timestamp", "seq", "origin")
+    __slots__ = ("values", "timestamp", "seq", "origin", "trace")
 
     def __init__(
         self,
@@ -98,11 +101,13 @@ class StreamTuple:
         timestamp: float = 0.0,
         seq: int | None = None,
         origin: str | None = None,
+        trace: Any = None,
     ):
         self.values = dict(values)
         self.timestamp = timestamp
         self.seq = seq
         self.origin = origin
+        self.trace = trace
 
     def __getitem__(self, field: str) -> Any:
         return self.values[field]
@@ -113,10 +118,14 @@ class StreamTuple:
     def derive(self, values: Mapping[str, Any]) -> "StreamTuple":
         """A new tuple with different values but inherited metadata.
 
-        Operators use this so that latency (timestamp) and lineage
-        (origin/seq) propagate through the query network.
+        Operators use this so that latency (timestamp), lineage
+        (origin/seq) and trace context propagate through the query
+        network.
         """
-        return StreamTuple(values, timestamp=self.timestamp, seq=self.seq, origin=self.origin)
+        return StreamTuple(
+            values, timestamp=self.timestamp, seq=self.seq, origin=self.origin,
+            trace=self.trace,
+        )
 
     def with_metadata(
         self, timestamp: float | None = None, seq: int | None = None, origin: str | None = None
@@ -127,6 +136,7 @@ class StreamTuple:
             timestamp=self.timestamp if timestamp is None else timestamp,
             seq=self.seq if seq is None else seq,
             origin=self.origin if origin is None else origin,
+            trace=self.trace,
         )
 
     def key(self, fields: tuple[str, ...]) -> tuple:

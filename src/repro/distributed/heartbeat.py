@@ -64,6 +64,8 @@ class HeartbeatMonitor:
         self._callbacks: list[DetectionCallback] = []
         self.detections: list[tuple[float, str, str]] = []
         self.heartbeats_sent = 0
+        self._m_sent = system.metrics.counter("heartbeat.sent")
+        self._m_detections = system.metrics.counter("heartbeat.detections")
         self._running = False
         for node in system.nodes.values():
             node.overlay_node.on("heartbeat", self._on_heartbeat)
@@ -133,6 +135,7 @@ class HeartbeatMonitor:
         )
         self.system.overlay.send(watched, watcher, message)
         self.heartbeats_sent += 1
+        self._m_sent.inc()
 
     def _on_heartbeat(self, message: Message) -> None:
         watched = str(message.payload["from"])
@@ -153,6 +156,7 @@ class HeartbeatMonitor:
             if now - heard > deadline:
                 self._declared.add(watched)
                 self.detections.append((now, watcher, watched))
+                self._m_detections.inc()
                 for callback in self._callbacks:
                     callback(watcher, watched, now)
 

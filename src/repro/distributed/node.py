@@ -64,6 +64,10 @@ class AuroraNode:
         self.busy_until = 0.0
         self.busy_time = 0.0
         self.tuples_processed = 0
+        metrics = system.metrics
+        self._m_tuples = metrics.counter("node.tuples_processed", node=name)
+        self._m_trains = metrics.counter("node.trains", node=name)
+        self._m_frames: dict[str, tuple] = {}
         self.failed = False
         self._work_scheduled = False
         # Lifecycle observers: callbacks fired as (event, node_name, time)
@@ -153,6 +157,9 @@ class AuroraNode:
         budget = self.train_size
         operator = box.operator
         cost = operator.cost_per_tuple / self.cpu_capacity
+        system = self.system
+        tracing = system._tracing
+        processed = 0
         while budget > 0:
             arc, n = self._claim_input(box, budget)
             if arc is None:
@@ -166,12 +173,29 @@ class AuroraNode:
                 batch = [popleft() for _ in range(n)]
             for _ in range(n):
                 consumed += cost
+            if tracing:
+                # Coarse sim-time spans: the event-driven node charges
+                # the whole train as one busy interval, so every tuple's
+                # box span covers it.  Re-stamped before process_batch()
+                # so emissions inherit the child context.
+                tracer = system.tracer
+                now = system.sim.now
+                for tup in batch:
+                    if tup.trace is not None:
+                        tup.trace = tracer.span(
+                            tup.trace, f"box:{box.id}", node=self.name,
+                            start=now, end=now + consumed,
+                        )
             box.tuples_in += n
             self.tuples_processed += n
+            processed += n
             out = operator.process_batch(batch, port=int(arc.target[1]))
             box.tuples_out += len(out)
             emissions.extend(out)
             budget -= n
+        if processed:
+            self._m_tuples.inc(processed)
+            self._m_trains.inc()
         box.busy_time += consumed
         box.latency_sum += consumed  # coarse T_B contribution per train
         box.latency_count += 1
@@ -245,12 +269,34 @@ class AuroraNode:
                 else:
                     remote_batches.setdefault((owner, arc.id), []).append(tup)
         self.kick()
+        system = self.system
+        tracing = system._tracing
         for (owner, arc_id), tuples in sorted(remote_batches.items()):
             size = train_frame_size(
-                len(tuples), self.system.tuple_bytes, self.system.message_header_bytes
+                len(tuples), system.tuple_bytes, system.message_header_bytes
             )
+            handles = self._m_frames.get(owner)
+            if handles is None:
+                metrics = system.metrics
+                handles = self._m_frames[owner] = (
+                    metrics.counter("transport.frames", src=self.name, dst=owner),
+                    metrics.counter("transport.tuples", src=self.name, dst=owner),
+                    metrics.counter("transport.bytes", src=self.name, dst=owner),
+                )
+            handles[0].inc()
+            handles[1].inc(len(tuples))
+            handles[2].inc(size)
+            if tracing:
+                tracer = system.tracer
+                now = system.sim.now
+                for tup in tuples:
+                    if tup.trace is not None:
+                        tup.trace = tracer.span(
+                            tup.trace, f"transport:{self.name}->{owner}",
+                            node=self.name, start=now, end=now,
+                        )
             message = Message("tuples", {"arc": arc_id, "tuples": tuples}, size=size)
-            self.system.overlay.send(self.name, owner, message)
+            system.overlay.send(self.name, owner, message)
 
     def drain_box(self, box_id: str) -> None:
         """Synchronously process everything queued at one box (flush path).

@@ -20,6 +20,8 @@ from repro.core.tuples import StreamTuple
 from repro.distributed.node import AuroraNode
 from repro.network.catalog import IntraParticipantCatalog
 from repro.network.overlay import Overlay
+from repro.obs.registry import Counter, MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.sim import Simulator
 
 
@@ -36,6 +38,12 @@ class AuroraStarSystem:
         default_bandwidth / default_latency: overlay link defaults.
         tuple_bytes: wire size of one tuple (drives link serialization).
         message_header_bytes: fixed framing per tuple batch message.
+        metrics: shared observability registry; a fresh enabled one is
+            created if omitted.  Nodes and transports fold their
+            counters into it.
+        tracer: optional span tracer; when sampling is active, source
+            tuples start traces at :meth:`push` and spans follow them
+            across node boundaries.
     """
 
     def __init__(
@@ -46,6 +54,8 @@ class AuroraStarSystem:
         default_latency: float = 0.001,
         tuple_bytes: int = 100,
         message_header_bytes: int = 40,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         network.validate()
         self.network = network
@@ -64,6 +74,11 @@ class AuroraStarSystem:
         self.output_latencies: dict[str, list[float]] = {n: [] for n in network.outputs}
         self.tuples_delivered = 0
         self.control_messages = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._tracing = tracer is not None and tracer.active
+        self._m_ingest: dict[str, Counter] = {}
+        self._m_delivered: dict[str, Counter] = {}
         # Ingress binding: the node where a source physically delivers
         # its events (Section 4.2).  When the consumer of an input arc
         # lives elsewhere, tuples cross the overlay from the ingress
@@ -155,6 +170,18 @@ class AuroraStarSystem:
             raise KeyError(f"network has no input {input_name!r}")
         if tup.timestamp == 0.0 and self.sim.now > 0.0:
             tup = tup.with_metadata(timestamp=self.sim.now)
+        handle = self._m_ingest.get(input_name)
+        if handle is None:
+            handle = self._m_ingest[input_name] = self.metrics.counter(
+                "system.ingest.tuples", input=input_name
+            )
+        handle.inc()
+        if self._tracing and tup.trace is None:
+            # Only fresh tuples start traces: a tuple arriving over a
+            # Medusa bridge already carries its cross-participant trace.
+            ctx = self.tracer.start_trace(f"source:{input_name}", at=tup.timestamp)
+            if ctx is not None:
+                tup.trace = ctx
         ingress = self.input_ingress.get(input_name)
         for arc in self.network.inputs[input_name]:
             kind, ref = arc.target
@@ -212,6 +239,16 @@ class AuroraStarSystem:
             self.sim.now - tup.timestamp
         )
         self.tuples_delivered += 1
+        handle = self._m_delivered.get(output_name)
+        if handle is None:
+            handle = self._m_delivered[output_name] = self.metrics.counter(
+                "system.delivered.tuples", stream=output_name
+            )
+        handle.inc()
+        if self._tracing and tup.trace is not None:
+            self.tracer.event(
+                tup.trace, f"deliver:{output_name}", at=self.sim.now
+            )
         for callback in self._output_subscribers.get(output_name, []):
             callback(tup)
 

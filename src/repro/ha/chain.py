@@ -26,6 +26,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable
 
+from repro.obs.registry import NULL_COUNTER, NULL_GAUGE, Counter, MetricsRegistry
+from repro.obs.trace import Tracer
+
 
 def merge_lineage(*lineages: dict[str, int]) -> dict[str, int]:
     """Combine lineages, keeping the earliest (minimum) seq per origin.
@@ -67,17 +70,20 @@ class HATuple:
     ``high[u] = H``, every u-tuple up to H is fully reflected there).
     """
 
-    __slots__ = ("value", "lineage", "high")
+    __slots__ = ("value", "lineage", "high", "trace")
 
     def __init__(
         self,
         value: Any,
         lineage: dict[str, int],
         high: dict[str, int] | None = None,
+        trace: Any = None,
     ):
         self.value = value
         self.lineage = dict(lineage)
         self.high = dict(high) if high is not None else dict(lineage)
+        # Observability trace context for sampled tuples (None otherwise).
+        self.trace = trace
 
     def __repr__(self) -> str:
         return f"HATuple({self.value!r}, {self.lineage})"
@@ -182,6 +188,10 @@ class HAServer:
         self.tuples_processed = 0
         self.duplicates_dropped = 0
         self.tuples_truncated = 0
+        # Registry handles, bound by the owning ServerChain (no-ops for
+        # a standalone server).
+        self._m_truncated = NULL_COUNTER
+        self._m_floor = NULL_GAUGE
         # Observation hook: called as (server, below, dropped_entries)
         # just before entries leave the output log.  Invariant checkers
         # (repro.sim.invariants) use it to verify truncation safety.
@@ -269,6 +279,8 @@ class HAServer:
         if dropped_entries and self.truncate_hook is not None:
             self.truncate_hook(self, below, dropped_entries)
         self.tuples_truncated += len(dropped_entries)
+        self._m_truncated.inc(len(dropped_entries))
+        self._m_floor.set(below)
         return len(dropped_entries)
 
     def log_size(self) -> int:
@@ -329,12 +341,32 @@ class ServerChain:
     Args:
         k: the safety parameter — "the failure of any k servers does
             not result in any message losses".
+        metrics: shared observability registry; a fresh enabled one is
+            created if omitted.  Message counts live there (the int
+            attributes are registry-backed properties).
+        tracer: optional span tracer; with sampling active, pushed
+            tuples carry spans through transmit, server ingestion and
+            application delivery.
     """
 
-    def __init__(self, k: int = 1):
+    def __init__(
+        self,
+        k: int = 1,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
         if k < 0:
             raise ValueError("k must be non-negative")
         self.k = k
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._tracing = tracer is not None and tracer.active
+        self._m_data = self.metrics.counter("ha.data_messages")
+        self._m_flow = self.metrics.counter("ha.flow_messages")
+        self._m_ack = self.metrics.counter("ha.ack_messages")
+        self._m_heartbeats = self.metrics.counter("ha.heartbeats_sent")
+        self._m_wire_drops = self.metrics.counter("ha.wire_drops")
+        self._m_delivered: dict[str, Counter] = {}
         self.servers: dict[str, HAServer] = {}
         self.sources: dict[str, SourceNode] = {}
         self.edges: dict[str, list[str]] = {}
@@ -347,10 +379,6 @@ class ServerChain:
         # Application-side absorption watermarks (per terminal, per
         # origin): the recovery replay floor of a failed terminal.
         self.app_absorbed: dict[str, dict[str, int]] = {}
-        self.data_messages = 0
-        self.flow_messages = 0
-        self.ack_messages = 0
-        self.heartbeats_sent = 0
         self.flow_round = 0
         # Acks collected during the current flow round:
         # origin -> [(recorded_at, floor), ...].
@@ -362,7 +390,49 @@ class ServerChain:
         # on every transmit; returning False loses the tuple on the
         # wire (counted in wire_drops).  None means deliver everything.
         self.transmit_hook: Callable[[str, str, HATuple], bool] | None = None
-        self.wire_drops = 0
+
+    # The paper's comparison currency, registry-backed.  Setters keep
+    # the historical ``chain.flow_messages += 1`` call sites working.
+
+    @property
+    def data_messages(self) -> int:
+        return self._m_data.value
+
+    @data_messages.setter
+    def data_messages(self, value: int) -> None:
+        self._m_data.value = value
+
+    @property
+    def flow_messages(self) -> int:
+        return self._m_flow.value
+
+    @flow_messages.setter
+    def flow_messages(self, value: int) -> None:
+        self._m_flow.value = value
+
+    @property
+    def ack_messages(self) -> int:
+        return self._m_ack.value
+
+    @ack_messages.setter
+    def ack_messages(self, value: int) -> None:
+        self._m_ack.value = value
+
+    @property
+    def heartbeats_sent(self) -> int:
+        return self._m_heartbeats.value
+
+    @heartbeats_sent.setter
+    def heartbeats_sent(self, value: int) -> None:
+        self._m_heartbeats.value = value
+
+    @property
+    def wire_drops(self) -> int:
+        return self._m_wire_drops.value
+
+    @wire_drops.setter
+    def wire_drops(self, value: int) -> None:
+        self._m_wire_drops.value = value
 
     # -- construction -------------------------------------------------------------
 
@@ -371,6 +441,7 @@ class ServerChain:
         source = SourceNode(name)
         self.sources[name] = source
         self.edges[name] = []
+        self._bind_node_metrics(source)
         return source
 
     def add_server(self, name: str, ops: list[ServerOp] | None = None) -> HAServer:
@@ -378,7 +449,14 @@ class ServerChain:
         server = HAServer(name, ops)
         self.servers[name] = server
         self.edges[name] = []
+        self._bind_node_metrics(server)
         return server
+
+    def _bind_node_metrics(self, node: HAServer) -> None:
+        node._m_truncated = self.metrics.counter(
+            "ha.tuples_truncated", server=node.name
+        )
+        node._m_floor = self.metrics.gauge("ha.truncation_floor", server=node.name)
 
     def _check_new(self, name: str) -> None:
         if name in self.servers or name in self.sources:
@@ -435,11 +513,19 @@ class ServerChain:
         """A source produces one tuple and sends it downstream."""
         source = self.sources[source_name]
         tup = source.produce(value)
+        if self._tracing:
+            ctx = self.tracer.start_trace(f"source:{source_name}", node=source_name)
+            if ctx is not None:
+                tup.trace = ctx
         for dst in self.edges[source_name]:
             self.transmit(source_name, dst, tup)
         return tup
 
     def transmit(self, src: str, dst: str, tup: HATuple) -> None:
+        if self._tracing and tup.trace is not None:
+            # A leaf event, not a re-stamp: the same tuple object fans
+            # out to several destinations.
+            self.tracer.event(tup.trace, f"wire:{src}->{dst}", node=src)
         if self.transmit_hook is not None and not self.transmit_hook(src, dst, tup):
             self.wire_drops += 1
             return
@@ -487,8 +573,15 @@ class ServerChain:
                     tup = queue.popleft()
                     delivered += 1
                     progress = True
+                    ctx = None
+                    if self._tracing and tup.trace is not None:
+                        ctx = self.tracer.span(
+                            tup.trace, f"ha-server:{dst}", node=dst
+                        )
                     outputs = self.servers[dst].ingest(tup, sender=src)
                     for out in outputs:
+                        if ctx is not None:
+                            out.trace = ctx
                         if self.is_terminal(dst):
                             self._deliver_to_app(dst, out)
                         for succ in self.edges[dst]:
@@ -507,6 +600,14 @@ class ServerChain:
             self.app_absorbed.get(terminal, {}), out.high
         )
         self.delivered.setdefault(terminal, []).append(out)
+        handle = self._m_delivered.get(terminal)
+        if handle is None:
+            handle = self._m_delivered[terminal] = self.metrics.counter(
+                "ha.delivered.tuples", terminal=terminal
+            )
+        handle.inc()
+        if self._tracing and out.trace is not None:
+            self.tracer.event(out.trace, f"deliver:{terminal}", node=terminal)
 
     def app_last_seq(self, terminal: str) -> int:
         """Highest terminal-server seq the application has received."""

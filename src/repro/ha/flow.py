@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.ha.chain import HAServer, ServerChain, merge_lineage
+from repro.ha.chain import HAServer, ServerChain
 
 
 @dataclass

@@ -83,14 +83,32 @@ class StreamBridge:
         self.messages_carried = 0
         self.dollars_settled = 0.0
         self._unsettled = 0
+        # Bridge counters live on the *sender's* registry (the bridge is
+        # the seller's egress point; the receiver accounts ingress via
+        # its own system.ingest counters).
+        self._m_carried = sender.metrics.counter(
+            "bridge.messages", output=output_name, input=input_name
+        )
+        self._m_settled = sender.metrics.gauge(
+            "bridge.dollars_settled", output=output_name, input=input_name
+        )
         sender.subscribe_output(output_name, self._on_output)
 
     def _on_output(self, tup: StreamTuple) -> None:
         """A sender-side delivery: ship it across the boundary."""
         self.messages_carried += 1
+        self._m_carried.inc()
         self._unsettled += 1
+        if tup.trace is not None and self.sender._tracing:
+            tup.trace = self.sender.tracer.span(
+                tup.trace,
+                f"bridge:{self.output_name}->{self.input_name}",
+                start=self.sim.now,
+                end=self.sim.now + self.latency,
+            )
         # The tuple is re-timestamped on arrival so the receiver's QoS
-        # measures its own domain's latency; lineage metadata survives.
+        # measures its own domain's latency; lineage metadata (including
+        # any trace context) survives.
         self.sim.schedule(self.latency, self._arrive, tup)
         if self._unsettled >= self.settle_every:
             self.settle()
@@ -104,6 +122,7 @@ class StreamBridge:
             return 0.0
         paid = self.contract.settle(self.economy, self._unsettled)
         self.dollars_settled += paid
+        self._m_settled.set(self.dollars_settled)
         self._unsettled = 0
         return paid
 

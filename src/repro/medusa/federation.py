@@ -17,9 +17,9 @@ model, and content contracts settle on the economy ledger.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.medusa.contracts import ContentContract, ContractError
+from repro.medusa.contracts import ContentContract
 from repro.medusa.economy import Economy
 from repro.medusa.participant import Participant
 

@@ -28,9 +28,10 @@ number of streams.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Callable
+
+from repro.obs.registry import Counter, MetricsRegistry
 
 
 class StreamMessage:
@@ -102,31 +103,92 @@ class TupleTrainMessage(StreamMessage):
 
 
 class TransportStats:
-    """Per-run delivery statistics shared by both transports."""
+    """Per-run delivery statistics shared by both transports.
 
-    def __init__(self) -> None:
-        self.delivered_bytes: dict[str, int] = {}
-        self.delivered_messages: dict[str, int] = {}
-        self.delivered_tuples: dict[str, int] = {}
-        self.overhead_bytes = 0
-        self.connections_used = 0
-        self.dropped_messages = 0
+    Counts live in a :class:`~repro.obs.registry.MetricsRegistry` under
+    the ``transport.*`` namespace; the dict-shaped views
+    (``delivered_bytes`` and friends) are built on demand from the
+    registry handles, so existing readers keep working unchanged.  Pass
+    a shared registry (plus identifying labels such as ``src=``/``dst=``)
+    to fold a transport's counters into a node-wide observability
+    snapshot; with no registry the stats own a private one.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels: str):
+        if registry is None or not registry.enabled:
+            # Delivery accounting is functional state (experiments and
+            # the HA machinery read it), not optional telemetry — a
+            # disabled shared registry must not silence it.
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.labels = labels
+        self._by_stream: dict[str, tuple[Counter, Counter, Counter]] = {}
+        self._overhead = registry.counter("transport.overhead_bytes", **labels)
+        self._connections = registry.counter("transport.connections_used", **labels)
+        self._dropped = registry.counter("transport.dropped_messages", **labels)
+
+    def _stream_handles(self, stream: str) -> tuple[Counter, Counter, Counter]:
+        handles = self._by_stream.get(stream)
+        if handles is None:
+            registry, labels = self.registry, self.labels
+            handles = self._by_stream[stream] = (
+                registry.counter("transport.delivered.bytes", stream=stream, **labels),
+                registry.counter("transport.delivered.messages", stream=stream, **labels),
+                registry.counter("transport.delivered.tuples", stream=stream, **labels),
+            )
+        return handles
 
     def record(self, message: StreamMessage) -> None:
-        self.delivered_bytes[message.stream] = (
-            self.delivered_bytes.get(message.stream, 0) + message.size
-        )
-        self.delivered_messages[message.stream] = (
-            self.delivered_messages.get(message.stream, 0) + 1
-        )
-        self.delivered_tuples[message.stream] = (
-            self.delivered_tuples.get(message.stream, 0) + message.tuple_count
-        )
+        size_c, messages_c, tuples_c = self._stream_handles(message.stream)
+        size_c.inc(message.size)
+        messages_c.inc()
+        tuples_c.inc(message.tuple_count)
+
+    # Dict-shaped views kept for the many existing readers; only streams
+    # that actually delivered something appear (never-delivered streams
+    # have no handles).
+
+    @property
+    def delivered_bytes(self) -> dict[str, int]:
+        return {s: h[0].value for s, h in sorted(self._by_stream.items())}
+
+    @property
+    def delivered_messages(self) -> dict[str, int]:
+        return {s: h[1].value for s, h in sorted(self._by_stream.items())}
+
+    @property
+    def delivered_tuples(self) -> dict[str, int]:
+        return {s: h[2].value for s, h in sorted(self._by_stream.items())}
+
+    @property
+    def overhead_bytes(self) -> int:
+        return self._overhead.value
+
+    @overhead_bytes.setter
+    def overhead_bytes(self, value: int) -> None:
+        self._overhead.value = value
+
+    @property
+    def connections_used(self) -> int:
+        return self._connections.value
+
+    @connections_used.setter
+    def connections_used(self, value: int) -> None:
+        self._connections.value = value
+
+    @property
+    def dropped_messages(self) -> int:
+        return self._dropped.value
+
+    @dropped_messages.setter
+    def dropped_messages(self, value: int) -> None:
+        self._dropped.value = value
 
     def share(self, stream: str) -> float:
         """Fraction of total delivered payload bytes carried by ``stream``."""
-        total = sum(self.delivered_bytes.values())
-        return self.delivered_bytes.get(stream, 0) / total if total else 0.0
+        total = sum(h[0].value for h in self._by_stream.values())
+        handles = self._by_stream.get(stream)
+        return handles[0].value / total if total and handles else 0.0
 
 
 class MultiplexedTransport:
@@ -138,6 +200,8 @@ class MultiplexedTransport:
             specification"); unknown streams default to weight 1.
         framing_overhead: extra bytes per message for the mux frame
             header (small; there is only one connection).
+        registry: optional shared metrics registry for the stats; extra
+            keyword labels (e.g. ``src=``, ``dst=``) tag its counters.
     """
 
     def __init__(
@@ -146,6 +210,8 @@ class MultiplexedTransport:
         weights: dict[str, float] | None = None,
         framing_overhead: int = 4,
         loss_hook: Callable[[StreamMessage], bool] | None = None,
+        registry: MetricsRegistry | None = None,
+        **stat_labels: str,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -164,7 +230,7 @@ class MultiplexedTransport:
         self._queues: dict[str, deque[tuple[float, StreamMessage]]] = {}
         self._last_finish: dict[str, float] = {}
         self._virtual_time = 0.0
-        self.stats = TransportStats()
+        self.stats = TransportStats(registry, **stat_labels)
         self.stats.connections_used = 1
 
     def weight(self, stream: str) -> float:
@@ -234,6 +300,8 @@ class PerStreamTransport:
         header_overhead: int = 40,
         setup_overhead: int = 120,
         loss_hook: Callable[[StreamMessage], bool] | None = None,
+        registry: MetricsRegistry | None = None,
+        **stat_labels: str,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -242,7 +310,7 @@ class PerStreamTransport:
         self.setup_overhead = setup_overhead
         self.loss_hook = loss_hook
         self._queues: dict[str, deque[StreamMessage]] = {}
-        self.stats = TransportStats()
+        self.stats = TransportStats(registry, **stat_labels)
 
     def enqueue(self, message: StreamMessage) -> None:
         if message.stream not in self._queues:

@@ -1,0 +1,133 @@
+"""``python -m repro.obs.report`` — diff two observability snapshots.
+
+Usage::
+
+    python -m repro.obs.report BEFORE.json AFTER.json [--format text|json]
+    python -m repro.obs.report SNAPSHOT.json            # summarize one
+
+With two snapshots the report shows every counter/gauge/histogram whose
+value changed, sorted by key; with one snapshot it prints a summary of
+the largest counters.  Exit status is 0 either way (the report is a
+lens, not a gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import diff_snapshots, load_snapshot
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value):,}"
+
+
+def summarize(snap: dict, top: int = 20) -> str:
+    """A one-snapshot summary: the largest counters plus totals."""
+    metrics = snap.get("metrics", snap)
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    lines = [
+        f"snapshot: {len(counters)} counters, {len(gauges)} gauges, "
+        f"{len(histograms)} histograms"
+    ]
+    ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    if ranked:
+        width = max(len(key) for key, _ in ranked)
+        lines.append(f"top counters (by value, first {len(ranked)}):")
+        for key, value in ranked:
+            lines.append(f"  {key:<{width}} {_format_value(value):>14}")
+    traces = snap.get("traces")
+    if traces:
+        spans = sum(_count_spans(tree) for tree in traces.values())
+        lines.append(f"traces: {len(traces)} sampled tuples, {spans} spans")
+    return "\n".join(lines)
+
+
+def _count_spans(tree: list[dict]) -> int:
+    total = 0
+    stack = list(tree)
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(node.get("children", []))
+    return total
+
+
+def render_diff_text(diff: dict) -> str:
+    lines: list[str] = []
+    for section in ("counters", "gauges"):
+        entries = diff.get(section, {})
+        if not entries:
+            continue
+        lines.append(f"{section} ({len(entries)} changed):")
+        width = max(len(key) for key in entries)
+        for key, row in entries.items():
+            delta = row["delta"]
+            sign = "+" if delta >= 0 else ""
+            lines.append(
+                f"  {key:<{width}} {_format_value(row['before']):>14} -> "
+                f"{_format_value(row['after']):>14}  ({sign}{_format_value(delta)})"
+            )
+    hist = diff.get("histograms", {})
+    if hist:
+        lines.append(f"histograms ({len(hist)} changed):")
+        width = max(len(key) for key in hist)
+        for key, row in hist.items():
+            delta = row["count_delta"]
+            sign = "+" if delta >= 0 else ""
+            lines.append(
+                f"  {key:<{width}} count {row['count_before']:,} -> "
+                f"{row['count_after']:,}  ({sign}{delta:,})"
+            )
+    if not lines:
+        lines.append("no differences")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__
+    )
+    parser.add_argument("before", help="snapshot JSON file")
+    parser.add_argument("after", nargs="?", default=None,
+                        help="second snapshot to diff against (optional)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--top", type=int, default=20,
+                        help="counters shown in single-snapshot summaries")
+    args = parser.parse_args(argv)
+
+    try:
+        before = load_snapshot(args.before)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.before}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.after is None:
+        if args.format == "json":
+            print(json.dumps(before.get("metrics", before), sort_keys=True, indent=2))
+        else:
+            print(summarize(before, top=args.top))
+        return 0
+
+    try:
+        after = load_snapshot(args.after)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.after}: {exc}", file=sys.stderr)
+        return 2
+
+    diff = diff_snapshots(before, after)
+    if args.format == "json":
+        print(json.dumps(diff, sort_keys=True, indent=2))
+    else:
+        print(render_diff_text(diff))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

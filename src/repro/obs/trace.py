@@ -1,0 +1,258 @@
+"""Distributed trace spans: end-to-end tuple lineage across nodes.
+
+A sampled tuple carries a :class:`TraceContext` — ``(trace_id,
+span_id)`` where ``span_id`` is the span under which the tuple was last
+touched.  Every instrumented hop (engine box claim, overlay transport
+frame, HA chain forwarding, Medusa bridge crossing) records a
+:class:`Span` whose parent is the carried context and re-stamps the
+tuple with a child context, so the :class:`SpanSink` can reconstruct
+the tuple's full journey as a tree, across node and participant
+boundaries.
+
+Everything is deterministic: trace ids and span ids are sequential,
+sampling is systematic (every ``1/rate``-th source tuple), and the span
+tree serialization sorts children — so a seeded run produces a
+byte-identical trace regardless of execution path (the scalar and
+batched engines record identical spans).
+"""
+
+from __future__ import annotations
+
+
+class TraceContext:
+    """The trace coordinates carried on a tuple: which trace it belongs
+    to and the span it was last touched under."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:
+        return f"TraceContext(trace={self.trace_id}, span={self.span_id})"
+
+
+class Span:
+    """One hop of one tuple's journey."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "node", "start", "end")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        node: str,
+        start: float,
+        end: float,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end = end
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(t{self.trace_id}/s{self.span_id}<-{self.parent_id}, "
+            f"{self.name}@{self.node or '-'})"
+        )
+
+
+class SpanSink:
+    """Collects finished spans and reconstructs per-tuple lineage trees."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._next_span_id = 0
+
+    def record(
+        self,
+        trace_id: int,
+        parent_id: int | None,
+        name: str,
+        node: str = "",
+        start: float = 0.0,
+        end: float = 0.0,
+    ) -> int:
+        """Append one span; returns its assigned span id."""
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self.spans.append(Span(trace_id, span_id, parent_id, name, node, start, end))
+        return span_id
+
+    # -- queries ---------------------------------------------------------------
+
+    def trace_ids(self) -> list[int]:
+        return sorted({span.trace_id for span in self.spans})
+
+    def by_trace(self, trace_id: int) -> list[Span]:
+        return [span for span in self.spans if span.trace_id == trace_id]
+
+    def count(self, name_prefix: str = "") -> int:
+        """Spans whose name starts with ``name_prefix`` (all if empty)."""
+        if not name_prefix:
+            return len(self.spans)
+        return sum(1 for span in self.spans if span.name.startswith(name_prefix))
+
+    def nodes_visited(self, trace_id: int) -> list[str]:
+        """Distinct non-empty node names touched by one trace, sorted."""
+        return sorted({s.node for s in self.by_trace(trace_id) if s.node})
+
+    def tree(self, trace_id: int) -> list[dict]:
+        """The trace's spans as nested dicts (roots at the top level).
+
+        Children are sorted by (start, end, name) and span ids are
+        *renumbered* in depth-first pre-order, so the rendering is
+        deterministic and independent of record order — the scalar and
+        batched engines record the same spans in different interleavings
+        yet serialize to identical trees.
+        """
+        spans = self.by_trace(trace_id)
+        children: dict[int | None, list[Span]] = {}
+        ids = {span.span_id for span in spans}
+        for span in spans:
+            # A parent outside this trace's span set (should not happen)
+            # degrades to a root rather than vanishing.
+            parent = span.parent_id if span.parent_id in ids else None
+            children.setdefault(parent, []).append(span)
+
+        counter = [0]
+
+        def build(span: Span, parent_norm: int | None) -> dict:
+            node = span.to_dict()
+            node["span"] = counter[0]
+            node["parent"] = parent_norm
+            my_id = counter[0]
+            counter[0] += 1
+            kids = children.get(span.span_id, [])
+            kids.sort(key=lambda s: (s.start, s.end, s.name, s.span_id))
+            node["children"] = [build(kid, my_id) for kid in kids]
+            return node
+
+        roots = children.get(None, [])
+        roots.sort(key=lambda s: (s.start, s.end, s.name, s.span_id))
+        return [build(root, None) for root in roots]
+
+    def tree_text(self, trace_id: int) -> str:
+        """A deterministic indented rendering of one trace tree."""
+        lines: list[str] = []
+
+        def walk(node: dict, depth: int) -> None:
+            lines.append(
+                f"{'  ' * depth}{node['name']} "
+                f"[{node['node'] or '-'}] "
+                f"{node['start']:.6f}..{node['end']:.6f}"
+            )
+            for child in node["children"]:
+                walk(child, depth + 1)
+
+        for root in self.tree(trace_id):
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """All traces as {trace_id: tree} (JSON-able, deterministic)."""
+        return {str(tid): self.tree(tid) for tid in self.trace_ids()}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"SpanSink({len(self.spans)} spans, {len(self.trace_ids())} traces)"
+
+
+class Tracer:
+    """Sampling decisions plus span recording against one sink.
+
+    Args:
+        sink: where spans land; a fresh private sink if omitted.
+        sample_rate: fraction of source tuples that start a trace
+            (0.0 disables tracing entirely; 1.0 traces every tuple).
+            Sampling is *systematic* — the accumulator admits every
+            ``1/rate``-th offer — so it is deterministic and identical
+            across scalar and batched execution of the same workload.
+    """
+
+    def __init__(self, sink: SpanSink | None = None, sample_rate: float = 0.0):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.sink = sink if sink is not None else SpanSink()
+        self.sample_rate = sample_rate
+        self._accumulator = 0.0
+        self._next_trace_id = 0
+        self.traces_started = 0
+        self.offers = 0
+
+    @property
+    def active(self) -> bool:
+        """True when sampling can admit tuples (the hot-path gate)."""
+        return self.sample_rate > 0.0
+
+    def sample(self) -> int | None:
+        """Offer one source tuple; returns a new trace id if admitted."""
+        self.offers += 1
+        if self.sample_rate <= 0.0:
+            return None
+        self._accumulator += self.sample_rate
+        if self._accumulator < 1.0:
+            return None
+        self._accumulator -= 1.0
+        trace_id = self._next_trace_id
+        self._next_trace_id += 1
+        self.traces_started += 1
+        return trace_id
+
+    def start_trace(
+        self, name: str, node: str = "", at: float = 0.0
+    ) -> TraceContext | None:
+        """Sample one source tuple; on admission, record the root span
+        and return the context to stamp on the tuple."""
+        trace_id = self.sample()
+        if trace_id is None:
+            return None
+        span_id = self.sink.record(trace_id, None, name, node, at, at)
+        return TraceContext(trace_id, span_id)
+
+    def span(
+        self,
+        ctx: TraceContext,
+        name: str,
+        node: str = "",
+        start: float = 0.0,
+        end: float = 0.0,
+    ) -> TraceContext:
+        """Record one hop under ``ctx``; returns the child context."""
+        span_id = self.sink.record(ctx.trace_id, ctx.span_id, name, node, start, end)
+        return TraceContext(ctx.trace_id, span_id)
+
+    def event(
+        self,
+        ctx: TraceContext,
+        name: str,
+        node: str = "",
+        at: float = 0.0,
+    ) -> None:
+        """Record a leaf span (no children expected) under ``ctx``."""
+        self.sink.record(ctx.trace_id, ctx.span_id, name, node, at, at)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(rate={self.sample_rate:g}, "
+            f"{self.traces_started}/{self.offers} sampled)"
+        )

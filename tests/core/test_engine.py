@@ -6,7 +6,6 @@ from repro.core.engine import AuroraEngine
 from repro.core.operators.filter import Filter
 from repro.core.operators.map import Map
 from repro.core.operators.tumble import Tumble
-from repro.core.operators.union import Union
 from repro.core.qos import QoSSpec, latency_qos
 from repro.core.query import QueryNetwork
 from repro.core.scheduler import (

@@ -18,7 +18,6 @@ compare per-arc queue_times.
 import random
 
 from repro.core.engine import AuroraEngine
-from repro.core.operators.case_filter import CaseFilter
 from repro.core.operators.filter import Filter
 from repro.core.operators.join import equijoin
 from repro.core.operators.map import Map

@@ -1,6 +1,5 @@
 """Tests for run-time network re-optimization (Section 2.3)."""
 
-import pytest
 
 from repro.core.engine import AuroraEngine
 from repro.core.operators.filter import Filter

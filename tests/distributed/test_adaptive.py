@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.operators.tumble import Tumble
 from repro.core.query import QueryNetwork
-from repro.core.tuples import StreamTuple, make_stream
+from repro.core.tuples import StreamTuple
 from repro.distributed.adaptive import (
     AdaptiveSplitPredicate,
     observed_imbalance,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.operators.filter import Filter
 from repro.core.operators.map import Map
 from repro.core.query import QueryNetwork
 from repro.core.tuples import StreamTuple, make_stream

@@ -12,7 +12,6 @@ from hypothesis import strategies as st
 
 from repro.core.operators.filter import Filter
 from repro.core.operators.join import equijoin
-from repro.core.operators.map import Map
 from repro.core.operators.tumble import Tumble
 from repro.core.query import QueryNetwork, execute
 from repro.core.tuples import FIGURE_2_STREAM, make_stream

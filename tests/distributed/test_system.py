@@ -8,7 +8,6 @@ from repro.core.operators.tumble import Tumble
 from repro.core.query import QueryNetwork
 from repro.core.tuples import FIGURE_2_STREAM, make_stream
 from repro.distributed.system import AuroraStarSystem, DeploymentError
-from repro.sim import Simulator
 
 
 def two_box_network(filter_cost=0.001, map_cost=0.001):

@@ -1,6 +1,5 @@
 """Tests for flow-message truncation and the sequence-number-array alternative."""
 
-import pytest
 
 from repro.ha.chain import ServerChain, StatelessOp, WindowOp
 from repro.ha.flow import FlowProtocol, SequenceNumberArray

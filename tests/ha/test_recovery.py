@@ -3,9 +3,7 @@
 import pytest
 
 from repro.ha.chain import ServerChain, StatelessOp, WindowOp
-from repro.ha.flow import FlowProtocol
 from repro.ha.recovery import (
-    RecoveryError,
     fail_server,
     recover,
     run_failure_experiment,

@@ -1,7 +1,5 @@
 """Tests for the ``python -m repro`` demo runner."""
 
-import pytest
-
 from repro.__main__ import DEMOS, main
 
 
@@ -25,8 +23,6 @@ class TestCli:
         assert "Result=3.0" in out
 
     def test_demo_registry_points_at_existing_scripts(self):
-        import pathlib
-
         from repro import __main__ as entry
 
         for script in DEMOS.values():

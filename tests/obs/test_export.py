@@ -1,0 +1,119 @@
+"""Exporters: JSON snapshots, Prometheus text, diffs, report CLI."""
+
+import json
+
+from repro.obs.export import (
+    diff_snapshots,
+    dumps,
+    load_snapshot,
+    render_prometheus,
+    snapshot,
+    write_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import main as report_main
+from repro.obs.trace import Tracer
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("engine.tuples").inc(10)
+    registry.counter("delivered", stream="s").inc(4)
+    registry.gauge("depth").set(2.5)
+    registry.histogram("train", buckets=(5.0, 10.0)).observe(3.0, 2)
+    return registry
+
+
+class TestSnapshots:
+    def test_snapshot_shape(self):
+        registry = sample_registry()
+        tracer = Tracer(sample_rate=1.0)
+        root = tracer.start_trace("source:s")
+        tracer.event(root, "deliver:out")
+        snap = snapshot(registry, sink=tracer.sink, meta={"seed": 1})
+        assert snap["version"] == 1
+        assert snap["meta"] == {"seed": 1}
+        assert snap["metrics"]["counters"]["engine.tuples"] == 10
+        assert "0" in snap["traces"]
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        written = write_snapshot(path, sample_registry())
+        assert load_snapshot(path) == written
+
+    def test_dumps_is_byte_stable(self):
+        a = dumps(snapshot(sample_registry()))
+        b = dumps(snapshot(sample_registry()))
+        assert a == b
+        assert a.endswith("\n")
+
+
+class TestPrometheus:
+    def test_render_counters_gauges_histograms(self):
+        text = render_prometheus(sample_registry())
+        assert "# TYPE repro_engine_tuples_total counter" in text
+        assert "repro_engine_tuples_total 10" in text
+        assert 'repro_delivered_total{stream="s"} 4' in text
+        assert "repro_depth 2.5" in text
+        assert 'repro_train_bucket{le="5"} 2' in text
+        assert 'repro_train_bucket{le="+Inf"} 2' in text
+        assert "repro_train_sum 6.0" in text
+        assert "repro_train_count 2" in text
+
+
+class TestDiff:
+    def test_diff_reports_deltas_and_omits_unchanged(self):
+        before = snapshot(sample_registry())
+        registry = sample_registry()
+        registry.counter("engine.tuples").inc(5)
+        registry.histogram("train", buckets=(5.0, 10.0)).observe(7.0)
+        after = snapshot(registry)
+        diff = diff_snapshots(before, after)
+        assert diff["counters"] == {
+            "engine.tuples": {"before": 10, "after": 15, "delta": 5}
+        }
+        assert diff["gauges"] == {}
+        assert diff["histograms"]["train"]["count_delta"] == 1
+
+    def test_diff_handles_one_sided_metrics(self):
+        before = snapshot(MetricsRegistry())
+        after = snapshot(sample_registry())
+        diff = diff_snapshots(before, after)
+        assert diff["counters"]["engine.tuples"]["before"] == 0
+
+
+class TestReportCli:
+    def write(self, tmp_path, name, registry):
+        path = str(tmp_path / name)
+        write_snapshot(path, registry)
+        return path
+
+    def test_single_snapshot_summary(self, tmp_path, capsys):
+        path = self.write(tmp_path, "a.json", sample_registry())
+        assert report_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "engine.tuples" in out
+
+    def test_two_snapshot_diff_text(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", sample_registry())
+        registry = sample_registry()
+        registry.counter("engine.tuples").inc(90)
+        b = self.write(tmp_path, "b.json", registry)
+        assert report_main([a, b]) == 0
+        out = capsys.readouterr().out
+        assert "engine.tuples" in out
+        assert "+90" in out
+
+    def test_diff_json_format(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", sample_registry())
+        registry = sample_registry()
+        registry.gauge("depth").set(9.0)
+        b = self.write(tmp_path, "b.json", registry)
+        assert report_main([a, b, "--format", "json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["gauges"]["depth"]["after"] == 9.0
+
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        assert report_main([str(tmp_path / "missing.json")]) == 2
+        assert "error" in capsys.readouterr().err

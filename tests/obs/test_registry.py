@@ -1,0 +1,121 @@
+"""MetricsRegistry: handles, caching, disabled mode, snapshots."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Histogram,
+    MetricsRegistry,
+    render_labels,
+)
+
+
+class TestHandles:
+    def test_counter_inc_batch_aware(self):
+        registry = MetricsRegistry()
+        c = registry.counter("engine.tuples")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("queue.depth")
+        g.set(10.0)
+        g.inc(2.0)
+        g.dec(0.5)
+        assert g.value == 11.5
+
+    def test_histogram_buckets_and_cumulative(self):
+        h = Histogram("train.tuples", {}, buckets=(1.0, 5.0, 10.0))
+        h.observe(1.0)      # <= 1
+        h.observe(3.0, 2)   # <= 5, batch of 2
+        h.observe(100.0)    # +Inf
+        assert h.count == 4
+        assert h.sum == 1.0 + 6.0 + 100.0
+        cumulative = h.cumulative()
+        assert cumulative == [(1.0, 1), (5.0, 3), (10.0, 3), (float("inf"), 4)]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", {}, buckets=(5.0, 1.0))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_handles_cached_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("t", box="f")
+        b = registry.counter("t", box="f")
+        c = registry.counter("t", box="m")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_irrelevant_to_identity(self):
+        registry = MetricsRegistry()
+        a = registry.counter("t", src="n1", dst="n2")
+        b = registry.counter("t", dst="n2", src="n1")
+        assert a is b
+
+    def test_disabled_registry_hands_out_null_handles(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NULL_COUNTER
+        assert registry.gauge("x") is NULL_GAUGE
+        assert registry.histogram("x") is NULL_HISTOGRAM
+        registry.counter("x").inc(100)
+        registry.gauge("x").set(5.0)
+        registry.histogram("x").observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_value_total_and_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("delivered", stream="a").inc(3)
+        registry.counter("delivered", stream="b").inc(4)
+        registry.gauge("depth").set(7.0)
+        assert registry.value("delivered", stream="a") == 3
+        assert registry.value("depth") == 7.0
+        assert registry.value("never.created") == 0
+        assert registry.total("delivered") == 7
+        assert registry.label_values("delivered", "stream") == {"a": 3, "b": 4}
+
+    def test_snapshot_keys_and_sorting(self):
+        registry = MetricsRegistry()
+        # Created out of order; snapshot must sort.
+        registry.counter("z.last").inc()
+        registry.counter("a.first", box="b").inc(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.first{box=b}", "z.last"]
+        assert snap["counters"]["a.first{box=b}"] == 2
+        assert snap["histograms"]["h"]["buckets"] == [[1.0, 1], ["+Inf", 1]]
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_independent_of_creation_order(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for name, labels in order:
+                registry.counter(name, **labels).inc()
+            return registry.snapshot()
+
+        entries = [("b", {"x": "1"}), ("a", {}), ("b", {"x": "0"})]
+        assert build(entries) == build(list(reversed(entries)))
+
+    def test_render_labels(self):
+        assert render_labels({}) == ""
+        assert render_labels({"b": "2", "a": "1"}) == "{a=1,b=2}"
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.clear()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }

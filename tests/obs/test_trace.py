@@ -1,0 +1,120 @@
+"""Tracer sampling and SpanSink tree reconstruction."""
+
+import pytest
+
+from repro.obs.trace import SpanSink, TraceContext, Tracer
+
+
+class TestSampling:
+    def test_rate_zero_never_samples(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert not tracer.active
+        assert all(tracer.sample() is None for _ in range(100))
+        assert tracer.traces_started == 0
+
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(sample_rate=1.0)
+        ids = [tracer.sample() for _ in range(10)]
+        assert ids == list(range(10))
+
+    def test_systematic_sampling_is_evenly_spaced(self):
+        tracer = Tracer(sample_rate=0.25)
+        admitted = [i for i in range(100) if tracer.sample() is not None]
+        assert len(admitted) == 25
+        gaps = {b - a for a, b in zip(admitted, admitted[1:])}
+        assert gaps == {4}
+
+    def test_sampling_is_deterministic(self):
+        a = [Tracer(sample_rate=0.3).sample() for _ in range(1)]
+        b = [Tracer(sample_rate=0.3).sample() for _ in range(1)]
+        assert a == b
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestSpans:
+    def test_start_trace_records_root(self):
+        tracer = Tracer(sample_rate=1.0)
+        ctx = tracer.start_trace("source:s", node="n1", at=2.5)
+        assert isinstance(ctx, TraceContext)
+        [span] = tracer.sink.spans
+        assert span.parent_id is None
+        assert span.name == "source:s"
+        assert span.start == span.end == 2.5
+
+    def test_span_chain_builds_lineage(self):
+        tracer = Tracer(sample_rate=1.0)
+        root = tracer.start_trace("source:s")
+        child = tracer.span(root, "box:f", start=1.0, end=2.0)
+        tracer.event(child, "deliver:out", at=2.0)
+        assert child.trace_id == root.trace_id
+        tree = tracer.sink.tree(root.trace_id)
+        assert len(tree) == 1
+        assert tree[0]["name"] == "source:s"
+        assert tree[0]["children"][0]["name"] == "box:f"
+        assert tree[0]["children"][0]["children"][0]["name"] == "deliver:out"
+
+    def test_unsampled_context_returns_none(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.start_trace("source:s") is None
+
+
+class TestSink:
+    def test_tree_ids_renumbered_depth_first(self):
+        """Raw span ids depend on record order; trees must not."""
+
+        def record(order):
+            sink = SpanSink()
+            tracer = Tracer(sink, sample_rate=1.0)
+            root = tracer.start_trace("root")
+            if order == "ab":
+                a = tracer.span(root, "a", start=1.0)
+                b = tracer.span(root, "b", start=2.0)
+            else:
+                b = tracer.span(root, "b", start=2.0)
+                a = tracer.span(root, "a", start=1.0)
+            tracer.event(a, "a.leaf", at=1.5)
+            tracer.event(b, "b.leaf", at=2.5)
+            return sink.tree(root.trace_id)
+
+        tree_ab = record("ab")
+        tree_ba = record("ba")
+        assert tree_ab == tree_ba
+        # Pre-order numbering: root=0, a=1, a.leaf=2, b=3, b.leaf=4.
+        root = tree_ab[0]
+        assert root["span"] == 0
+        a, b = root["children"]
+        assert (a["name"], a["span"]) == ("a", 1)
+        assert a["children"][0]["span"] == 2
+        assert (b["name"], b["span"]) == ("b", 3)
+
+    def test_count_and_queries(self):
+        tracer = Tracer(sample_rate=1.0)
+        for i in range(3):
+            root = tracer.start_trace("source:s", node=f"n{i}")
+            tracer.event(root, "deliver:out", node=f"n{i}")
+        sink = tracer.sink
+        assert len(sink) == 6
+        assert sink.count("deliver:") == 3
+        assert sink.trace_ids() == [0, 1, 2]
+        assert sink.nodes_visited(1) == ["n1"]
+
+    def test_tree_text_renders_hierarchy(self):
+        tracer = Tracer(sample_rate=1.0)
+        root = tracer.start_trace("source:s", at=0.0)
+        tracer.span(root, "box:f", node="n1", start=1.0, end=2.0)
+        text = tracer.sink.tree_text(root.trace_id)
+        lines = text.splitlines()
+        assert lines[0].startswith("source:s")
+        assert lines[1].startswith("  box:f [n1]")
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        tracer = Tracer(sample_rate=1.0)
+        root = tracer.start_trace("source:s")
+        tracer.event(root, "deliver:out")
+        dumped = json.dumps(tracer.sink.to_dict(), sort_keys=True)
+        assert "source:s" in dumped
