@@ -14,6 +14,11 @@ Topologies:
   topology: batch must be ≥ 2x scalar here).
 * ``fanout``    — CaseFilter routing to four output streams.
 * ``window``    — filter→Tumble(groupby)→map windowed aggregation.
+* ``fusion``    — six-stage stateless chain run down the batched path
+  with superbox compilation off vs on; fused must be ≥ 1.3x and its
+  observability snapshot byte-identical to the unfused run.
+* ``sched_wide`` — CaseFilter fan-out to 24 branches under the
+  longest-queue scheduler (exercises the sparse queued-count index).
 * ``transport`` — multiplexed transport shipping one train frame per
   batch vs one message per tuple.
 
@@ -44,7 +49,9 @@ from repro.core.operators.filter import Filter
 from repro.core.operators.map import Map
 from repro.core.operators.tumble import Tumble
 from repro.core.query import QueryNetwork
+from repro.core.scheduler import make_scheduler
 from repro.core.tuples import make_stream
+from repro.obs.export import dumps, snapshot
 from repro.obs.registry import MetricsRegistry
 from repro.network.transport import (
     MultiplexedTransport,
@@ -98,6 +105,49 @@ def window_network():
     return net, ["agg"]
 
 
+def fusion_network():
+    """Six-stage stateless chain: the superbox compilation target.
+
+    High-survival filters keep trains full through every interior arc,
+    so the per-stage queue/claim bookkeeping the superbox skips is paid
+    on (nearly) every tuple in the unfused run.
+    """
+    net = QueryNetwork()
+    prev = "in:src"
+    for i in range(6):
+        box_id = f"s{i}"
+        if i == 5:
+            net.add_box(box_id, Map(
+                lambda v: {"A": v["A"] + 1, "B": v["B"]}, cost_per_tuple=0.0005))
+        else:
+            net.add_box(box_id, Filter(
+                lambda t, m=i + 13: t["A"] % m != 0, cost_per_tuple=0.0005))
+        net.connect(prev, box_id)
+        prev = box_id
+    net.connect(prev, "out:sink")
+    return net, ["sink"]
+
+
+def wide_sched_network(n_branches: int = 24):
+    """A 24-way CaseFilter fan-out: scheduler choice dominated by how
+    fast 'which box has the longest queue' can be answered."""
+    net = QueryNetwork()
+    net.add_box("route", CaseFilter(
+        [lambda t, k=k: t["A"] % n_branches == k for k in range(n_branches - 1)],
+        with_else_port=True,
+        cost_per_tuple=0.0005,
+    ))
+    net.connect("in:src", "route")
+    outputs = []
+    for port in range(n_branches):
+        mid = f"m{port}"
+        net.add_box(mid, Map(lambda v: dict(v), cost_per_tuple=0.0005))
+        net.connect(("route", port), mid)
+        net.connect(mid, f"out:o{port}")
+        outputs.append(f"o{port}")
+    return net, outputs
+
+
 def make_workload(n_tuples: int):
     return make_stream(
         [{"A": i % 17, "B": (i * 7) % 23} for i in range(n_tuples)], spacing=0.0
@@ -108,14 +158,17 @@ def make_workload(n_tuples: int):
 
 
 def run_engine_once(build, stream, batch: bool, train_size: int,
-                    metrics: MetricsRegistry | None = None):
+                    metrics: MetricsRegistry | None = None,
+                    fusion: bool = True, scheduler: str | None = None):
     net, outputs = build()
     engine = AuroraEngine(
         net,
+        scheduler=make_scheduler(scheduler) if scheduler else None,
         train_size=train_size,
         batch_execution=batch,
         scheduling_overhead=0.002,
         metrics=metrics,
+        fusion=fusion,
     )
     start = time.perf_counter()
     engine.push_many("src", stream)
@@ -129,14 +182,16 @@ def run_engine_once(build, stream, batch: bool, train_size: int,
     return elapsed, emitted, engine.clock
 
 
-def measure_engine(build, stream, train_size: int, repeats: int):
+def measure_engine(build, stream, train_size: int, repeats: int,
+                   scheduler: str | None = None):
     """Best-of-``repeats`` throughput for scalar and batch, plus checks."""
     results = {}
     reference = {}
     for mode, batch in (("scalar", False), ("batch", True)):
         best = float("inf")
         for _ in range(repeats):
-            elapsed, emitted, clock = run_engine_once(build, stream, batch, train_size)
+            elapsed, emitted, clock = run_engine_once(
+                build, stream, batch, train_size, scheduler=scheduler)
             best = min(best, elapsed)
         results[mode] = len(stream) / best
         reference[mode] = (emitted, clock)
@@ -149,6 +204,39 @@ def measure_engine(build, stream, train_size: int, repeats: int):
         "outputs_match": scalar_out == batch_out,
         "virtual_time_match": scalar_clock == batch_clock,
         "virtual_time": scalar_clock,
+    }
+
+
+def measure_fusion(build, stream, train_size: int, repeats: int):
+    """Superbox compilation: batched path with fusion off vs on.
+
+    Reuses the generic scalar/batch report keys so the baseline and
+    check machinery apply unchanged: ``scalar_tps`` is the unfused
+    batched path, ``batch_tps`` the fused one.  ``obs_match`` asserts
+    the fused run's metrics snapshot is byte-identical to the unfused
+    run's — fusion must not change any logical signal.
+    """
+    results = {}
+    reference = {}
+    snapshots = {}
+    for mode, fusion in (("unfused", False), ("fused", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            metrics = MetricsRegistry()
+            elapsed, emitted, clock = run_engine_once(
+                build, stream, True, train_size, metrics=metrics, fusion=fusion)
+            best = min(best, elapsed)
+        results[mode] = len(stream) / best
+        reference[mode] = (emitted, clock)
+        snapshots[mode] = dumps(snapshot(metrics))
+    return {
+        "scalar_tps": round(results["unfused"]),
+        "batch_tps": round(results["fused"]),
+        "speedup": round(results["fused"] / results["unfused"], 3),
+        "outputs_match": reference["unfused"][0] == reference["fused"][0],
+        "virtual_time_match": reference["unfused"][1] == reference["fused"][1],
+        "virtual_time": reference["fused"][1],
+        "obs_match": snapshots["unfused"] == snapshots["fused"],
     }
 
 
@@ -248,6 +336,11 @@ def run_suite(n_tuples: int = DEFAULT_TUPLES, train_size: int = DEFAULT_TRAIN,
             "pipeline": measure_engine(pipeline_network, stream, train_size, repeats),
             "fanout": measure_engine(fanout_network, stream, train_size, repeats),
             "window": measure_engine(window_network, stream, train_size, repeats),
+            "fusion": measure_fusion(fusion_network, stream, train_size, repeats),
+            "sched_wide": measure_engine(
+                wide_sched_network, stream, train_size, repeats,
+                scheduler="longest_queue",
+            ),
             "transport": measure_transport(n_tuples, train_size, repeats),
             "obs_overhead": measure_obs_overhead(
                 pipeline_network, stream, train_size, repeats
@@ -279,18 +372,29 @@ def print_report(report: dict) -> None:
 
 OBS_OVERHEAD_FLOOR = 0.95
 BASELINE_TOLERANCE = 0.8
+FUSION_SPEEDUP_FLOOR = 1.3
 
 
 def check_report(report: dict, baseline: dict | None = None) -> list[str]:
     """The CI gate: batch must not be slower anywhere, outputs must
-    match, the obs layer must cost < 5%, and no scenario may regress
-    more than 20% below the committed baseline speedup."""
+    match, the obs layer must cost < 5%, superbox fusion must hold its
+    1.3x floor with byte-identical observability, and no scenario may
+    regress more than 20% below the committed baseline speedup."""
     failures = []
     for name, row in report["results"].items():
         if not row["outputs_match"]:
             failures.append(f"{name}: batch outputs diverged from scalar")
         if row.get("virtual_time_match") is False:
             failures.append(f"{name}: virtual clocks diverged")
+        if row.get("obs_match") is False:
+            failures.append(
+                f"{name}: fused obs snapshot diverged from unfused"
+            )
+        if name == "fusion" and row["speedup"] < FUSION_SPEEDUP_FLOOR:
+            failures.append(
+                f"fusion: superbox speedup {row['speedup']:.2f}x below "
+                f"the {FUSION_SPEEDUP_FLOOR}x floor"
+            )
         if "ratio" in row:
             if row["ratio"] < OBS_OVERHEAD_FLOOR:
                 failures.append(
@@ -352,6 +456,8 @@ def test_perf_throughput_smoke():
         assert row["outputs_match"], f"{name}: batch outputs diverged"
         if "virtual_time_match" in row:
             assert row["virtual_time_match"], f"{name}: virtual clocks diverged"
+        if "obs_match" in row:
+            assert row["obs_match"], f"{name}: fused obs snapshot diverged"
 
 
 def test_baseline_comparison_skips_on_config_mismatch(capsys):

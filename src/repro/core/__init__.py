@@ -22,6 +22,7 @@ from repro.core.aggregates import (
 from repro.core.builder import BuildError, Cursor, QueryBuilder
 from repro.core.catalog import CatalogError, LocalCatalog
 from repro.core.engine import AuroraEngine
+from repro.core.fusion import FusedChain, build_chains, find_runs
 from repro.core.operators import (
     CaseFilter,
     Filter,
@@ -113,6 +114,9 @@ __all__ = [
     "ConnectionPoint",
     "FIGURE_2_STREAM",
     "Filter",
+    "FusedChain",
+    "build_chains",
+    "find_runs",
     "Join",
     "LoadShedder",
     "LocalCatalog",

@@ -6,6 +6,11 @@ predetermined arcs in the flow graph where historical data is stored."
 An ad-hoc query is a one-shot query network evaluated over the tuples a
 connection point has retained; it can also stay *attached*, continuing
 to receive the live stream after draining the history.
+
+Superbox fusion (:mod:`repro.core.fusion`) never needs to be dissolved
+before an ad-hoc attach: arcs carrying a connection point are fusion
+barriers, so an attachable arc is by construction never interior to a
+fused chain and its history/live feed always sees real arc traffic.
 """
 
 from __future__ import annotations

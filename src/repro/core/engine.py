@@ -19,6 +19,7 @@ from itertools import islice
 from typing import Iterable
 
 from repro.core.catalog import LocalCatalog
+from repro.core.fusion import FusedChain, find_runs
 from repro.core.qos import QoSMonitor, QoSSpec
 from repro.core.query import Arc, Box, QueryNetwork
 from repro.core.scheduler import RoundRobinScheduler, Scheduler
@@ -63,6 +64,15 @@ class AuroraEngine:
             to strip even that.
         tracer: trace-span recorder; None (the default) disables
             per-tuple lineage tracing entirely.
+        fusion: if True (the default), superbox compilation
+            (:mod:`repro.core.fusion`) fuses maximal linear runs of
+            stateless single-in/single-out boxes: each run is scheduled
+            as one unit and a train is threaded through every
+            constituent kernel in a single pass, with no interior queue
+            traffic.  Per-constituent statistics, obs counters and trace
+            spans are still emitted exactly as the unfused network would
+            emit them.  Effective only with ``push_trains`` (the fused
+            pass is the compiled form of the train push).
     """
 
     def __init__(
@@ -80,6 +90,7 @@ class AuroraEngine:
         batch_execution: bool = True,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        fusion: bool = True,
     ):
         network.validate()
         if train_size < 1:
@@ -119,12 +130,21 @@ class AuroraEngine:
         self.clock = 0.0
         self.steps = 0
         self.tuples_processed = 0
-        self.outputs: dict[str, list[StreamTuple]] = {
-            name: [] for name in network.outputs
-        }
-        self.box_order: list[str] = network.topological_order()
+        self.fusion = fusion
+        self.outputs: dict[str, list[StreamTuple]] = {}
+        self.box_order: list[str] = []
+        # Public scheduler-facing indexes (see the scheduler module):
+        # queued_counts holds only boxes with queued tuples, so choice
+        # is O(non-empty boxes); topo_position breaks ties the same way
+        # a topological scan would.
+        self.topo_position: dict[str, int] = {}
+        self.queued_counts: dict[str, int] = {}
         self._reach_cache: dict[str, frozenset[str]] = {}
         self._input_reach_cache: dict[str, frozenset[str]] = {}
+        self._runs: dict[str, list[str]] = {}
+        self._fused: dict[str, FusedChain] = {}
+        self._fused_member: dict[str, str] = {}
+        self.invalidate_caches()
 
     # -- topology caches -----------------------------------------------------
 
@@ -132,14 +152,72 @@ class AuroraEngine:
         """Recompute topology-derived state after a network change.
 
         Load management (Section 5) rewrites the network at run time —
-        box sliding and splitting add/remove boxes — so reachability and
-        scheduling order must be refreshed.
+        box sliding and splitting add/remove boxes — so everything
+        derived from topology must be refreshed: reachability,
+        scheduling order, the queued-count index, the output buffers
+        (streams a rewrite removed drop their buffers instead of
+        lingering) and the superbox fusion overlay, which re-runs from
+        scratch (defuse + refuse) so direct network mutations are
+        honored.  The scheduler is notified last, so cursors cannot
+        point past a shrunken ``box_order``.
         """
         self.box_order = self.network.topological_order()
+        self.topo_position = {b: i for i, b in enumerate(self.box_order)}
         self._reach_cache.clear()
         self._input_reach_cache.clear()
-        for name in self.network.outputs:
-            self.outputs.setdefault(name, [])
+        self.outputs = {
+            name: self.outputs.get(name, []) for name in self.network.outputs
+        }
+        self.queued_counts = {}
+        for box_id, box in self.network.boxes.items():
+            queued = box.queued()
+            if queued:
+                self.queued_counts[box_id] = queued
+        # Superbox compilation (repro.core.fusion).  The run map is kept
+        # even with fusion off: train pushing and flushing visit a run's
+        # members consecutively in both modes, so fused and unfused
+        # execution stay clock-identical tuple for tuple.
+        self._runs = {}
+        self._fused = {}
+        self._fused_member = {}
+        if self.push_trains:
+            for run in find_runs(self.network):
+                self._runs[run[0]] = run
+                if self.fusion:
+                    chain = FusedChain([self.network.boxes[b] for b in run])
+                    self._fused[run[0]] = chain
+                    for member in run:
+                        self._fused_member[member] = run[0]
+        hook = getattr(self.scheduler, "network_changed", None)
+        if hook is not None:
+            hook(self)
+
+    def defuse(self, box_id: str | None = None) -> None:
+        """Dissolve superboxes — all of them, or the one containing ``box_id``.
+
+        Safe at any scheduling boundary: fusion never removed the
+        constituent boxes or arcs from the network (it only redirects
+        execution), a fused train always runs through every stage so
+        interior arcs are empty, and any queued tuples already sit on
+        the superbox input — the head box's own input arc.  Dropping
+        the overlay therefore restores per-box execution with no state
+        hand-back, and the run is still *pushed* member-by-member in
+        the fused order, so even the virtual clock is unaffected.
+        """
+        if box_id is None:
+            self._fused = {}
+            self._fused_member = {}
+            return
+        head = self._fused_member.get(box_id)
+        if head is None:
+            return
+        chain = self._fused.pop(head)
+        for stage in chain.stages:
+            self._fused_member.pop(stage.id, None)
+
+    def fused_runs(self) -> list[list[str]]:
+        """Box-id runs currently compiled into superboxes."""
+        return [chain.member_ids() for chain in self._fused.values()]
 
     def outputs_reachable_from(self, box_id: str) -> frozenset[str]:
         """Output stream names downstream of ``box_id``."""
@@ -257,6 +335,13 @@ class AuroraEngine:
                 admitted += 1
             arc.tuples_transferred += admitted
             self.clock = clock
+            if admitted:
+                target = arc.target[0]
+                if target != "out":
+                    target = str(target)
+                    self.queued_counts[target] = (
+                        self.queued_counts.get(target, 0) + admitted
+                    )
             self._counter_for(
                 self._m_ingest, "engine.ingest.tuples", "input", input_name
             ).inc(admitted)
@@ -270,6 +355,19 @@ class AuroraEngine:
     def _enqueue(self, arc: Arc, tup: StreamTuple) -> None:
         if arc.push(tup):
             arc.queue_times.append(self.clock)
+            target = arc.target[0]
+            if target != "out":
+                target = str(target)
+                self.queued_counts[target] = self.queued_counts.get(target, 0) + 1
+
+    def _drop_queued(self, box_id: str, n: int) -> None:
+        """Account ``n`` tuples consumed at a box in the queued index."""
+        counts = self.queued_counts
+        left = counts.get(box_id, 0) - n
+        if left > 0:
+            counts[box_id] = left
+        else:
+            counts.pop(box_id, None)
 
     # -- execution ---------------------------------------------------------------
 
@@ -295,9 +393,12 @@ class AuroraEngine:
         return consumed
 
     def _run_train(self, box_id: str, limit: int | None = None) -> float:
-        """Process up to ``train_size`` tuples at one box."""
-        box = self.network.boxes[box_id]
+        """Process up to ``train_size`` tuples at one box (or superbox)."""
         budget = self.train_size if limit is None else limit
+        chain = self._fused.get(box_id)
+        if chain is not None:
+            return self._run_train_fused(chain, budget)
+        box = self.network.boxes[box_id]
         in_before = box.tuples_in
         out_before = box.tuples_out
         if self.batch_execution:
@@ -308,18 +409,22 @@ class AuroraEngine:
         # totals on the scalar and batched paths.
         n = box.tuples_in - in_before
         if n:
-            self._counter_for(
-                self._m_box_in, "engine.box.tuples_in", "box", box_id
-            ).inc(n)
-            emitted = box.tuples_out - out_before
-            if emitted:
-                self._counter_for(
-                    self._m_box_out, "engine.box.tuples_out", "box", box_id
-                ).inc(emitted)
-                self._m_emitted.inc(emitted)
-            self._m_tuples.inc(n)
-            self._m_train_hist.observe(n)
+            self._drop_queued(box_id, n)
+            self._train_obs(box_id, n, box.tuples_out - out_before)
         return consumed
+
+    def _train_obs(self, box_id: str, n: int, emitted: int) -> None:
+        """The per-train obs update set for one (logical) box."""
+        self._counter_for(
+            self._m_box_in, "engine.box.tuples_in", "box", box_id
+        ).inc(n)
+        if emitted:
+            self._counter_for(
+                self._m_box_out, "engine.box.tuples_out", "box", box_id
+            ).inc(emitted)
+            self._m_emitted.inc(emitted)
+        self._m_tuples.inc(n)
+        self._m_train_hist.observe(n)
 
     def _run_train_scalar(self, box: Box, budget: int) -> float:
         """The per-tuple reference path: one full engine round per tuple."""
@@ -493,10 +598,234 @@ class AuroraEngine:
                 best, best_time = arc, head_time
         return best
 
+    def _run_train_fused(self, chain: FusedChain, budget: int) -> float:
+        """One train through a superbox: claimed once at the head,
+        threaded through every stage, emitted from the tail.
+
+        Interior arcs see no traffic at all — no deque pushes, no
+        ``queue_times`` stamping, no claim bookkeeping, no storage
+        charges (interior arcs are empty by construction, and
+        unspilled-arc charges are no-ops) — while the virtual clock,
+        per-stage statistics, obs counters and trace spans advance in
+        exactly the sums and order the unfused member-by-member train
+        push produces.
+        """
+        head = chain.head
+        arc = self._oldest_input_arc(head)
+        if arc is None or budget <= 0:
+            return 0.0
+        if self.batch_execution:
+            return self._run_train_fused_batched(chain, arc, budget)
+        return self._run_train_fused_scalar(chain, arc, budget)
+
+    def _run_train_fused_batched(
+        self, chain: FusedChain, arc: Arc, budget: int
+    ) -> float:
+        consumed = 0.0
+        clock = self.clock
+        tracing = self._tracing
+        stages = chain.stages
+        kernels = chain.interior_kernels
+        head = stages[0]
+        last = len(stages) - 1
+        n = min(budget, len(arc.queue))
+        # Same claim/charge protocol as _run_train_batched's first (and,
+        # for a single-arc box, only) iteration.
+        _read_cost, first_read = self.storage.charge_consume_batch(arc, n)
+        queue = arc.queue
+        if n == len(queue):
+            batch = list(queue)
+            queue.clear()
+        else:
+            popleft = queue.popleft
+            batch = [popleft() for _ in range(n)]
+        queue_times = arc.queue_times
+        timed = min(n, len(queue_times))
+        if timed == len(queue_times):
+            times = list(queue_times)
+            queue_times.clear()
+        else:
+            pop_time = queue_times.popleft
+            times = [pop_time() for _ in range(timed)]
+        self._drop_queued(head.id, n)
+        per_read = self.storage.read_cost
+        stage_start = clock
+        for index, box in enumerate(stages):
+            count = len(batch)
+            if count == 0:
+                break
+            cost = box.operator.cost_per_tuple / self.cpu_capacity
+            latency = 0.0
+            if index == 0:
+                if first_read >= count and timed == count and not tracing:
+                    for enqueued_at in times:
+                        clock += cost
+                        consumed += cost
+                        latency += clock - enqueued_at
+                else:
+                    for i in range(count):
+                        if i >= first_read:
+                            clock += per_read
+                            consumed += per_read
+                        enqueued_at = times[i] if i < timed else clock
+                        clock += cost
+                        consumed += cost
+                        latency += clock - enqueued_at
+                        if tracing:
+                            tup = batch[i]
+                            if tup.trace is not None:
+                                tup.trace = self.tracer.span(
+                                    tup.trace, f"box:{box.id}",
+                                    start=clock - cost, end=clock,
+                                )
+            elif not tracing:
+                # Interior stages: every tuple was (logically) enqueued
+                # at the previous stage's train-end clock — the stamp
+                # _emit_batch would have written.
+                enqueued_at = stage_start
+                for _ in range(count):
+                    clock += cost
+                    consumed += cost
+                    latency += clock - enqueued_at
+            else:
+                enqueued_at = stage_start
+                for i in range(count):
+                    clock += cost
+                    consumed += cost
+                    latency += clock - enqueued_at
+                    tup = batch[i]
+                    if tup.trace is not None:
+                        tup.trace = self.tracer.span(
+                            tup.trace, f"box:{box.id}",
+                            start=clock - cost, end=clock,
+                        )
+            box.busy_time += count * cost
+            box.tuples_in += count
+            box.latency_sum += latency
+            box.latency_count += count
+            self.tuples_processed += count
+            if index == last:
+                self.clock = clock
+                emissions = box.operator.process_batch(batch, port=0)
+                out_count = len(emissions)
+                box.tuples_out += out_count
+                self._emit_batch(box, emissions)
+            else:
+                out = kernels[index](batch)
+                out_count = len(out)
+                box.tuples_out += out_count
+                batch = out
+                stage_start = clock
+            self._train_obs(box.id, count, out_count)
+        self.clock = clock
+        return consumed
+
+    def _run_train_fused_scalar(
+        self, chain: FusedChain, arc: Arc, budget: int
+    ) -> float:
+        consumed = 0.0
+        tracing = self._tracing
+        stages = chain.stages
+        last = len(stages) - 1
+        head = stages[0]
+        operator = head.operator
+        cost = operator.cost_per_tuple / self.cpu_capacity
+        # Stage 0 claims from the head's real input arc, exactly like
+        # _run_train_scalar; later stages carry (tuple, emit-clock)
+        # pairs instead of touching the interior arcs.
+        pending: list[tuple[StreamTuple, float]] = []
+        taken = 0
+        emitted_count = 0
+        while budget > 0 and arc.queue:
+            read_cost = self.storage.charge_consume(arc)
+            self.clock += read_cost
+            consumed += read_cost
+            tup = arc.queue.popleft()
+            enqueued_at = (
+                arc.queue_times.popleft() if arc.queue_times else self.clock
+            )
+            self.clock += cost
+            consumed += cost
+            head.busy_time += cost
+            head.tuples_in += 1
+            self.tuples_processed += 1
+            if tracing and tup.trace is not None:
+                tup.trace = self.tracer.span(
+                    tup.trace, f"box:{head.id}",
+                    start=self.clock - cost, end=self.clock,
+                )
+            emitted = operator.process(tup, port=0)
+            for _out_port, out_tup in emitted:
+                head.tuples_out += 1
+                pending.append((out_tup, self.clock))
+            head.latency_sum += self.clock - enqueued_at
+            head.latency_count += 1
+            budget -= 1
+            taken += 1
+            emitted_count += len(emitted)
+        if taken == 0:
+            return consumed
+        self._drop_queued(head.id, taken)
+        self._train_obs(head.id, taken, emitted_count)
+        for index in range(1, last + 1):
+            if not pending:
+                break
+            box = stages[index]
+            operator = box.operator
+            cost = operator.cost_per_tuple / self.cpu_capacity
+            current = pending
+            pending = []
+            emitted_count = 0
+            for tup, enqueued_at in current:
+                self.clock += cost
+                consumed += cost
+                box.busy_time += cost
+                box.tuples_in += 1
+                self.tuples_processed += 1
+                if tracing and tup.trace is not None:
+                    tup.trace = self.tracer.span(
+                        tup.trace, f"box:{box.id}",
+                        start=self.clock - cost, end=self.clock,
+                    )
+                emitted = operator.process(tup, port=0)
+                if index == last:
+                    for out_port, out_tup in emitted:
+                        box.tuples_out += 1
+                        self._emit(box, out_port, out_tup)
+                else:
+                    for _out_port, out_tup in emitted:
+                        box.tuples_out += 1
+                        pending.append((out_tup, self.clock))
+                box.latency_sum += self.clock - enqueued_at
+                box.latency_count += 1
+                emitted_count += len(emitted)
+            self._train_obs(box.id, len(current), emitted_count)
+        return consumed
+
+    def _advance_run(self, box_id: str) -> tuple[str, float]:
+        """After running ``box_id``, bring the rest of its run current.
+
+        Returns (frontier expansion point, virtual time consumed).  A
+        fused chain already ran in one pass; an unfused (or defused) run
+        processes each member consecutively — the same schedule the
+        fused pass uses, which keeps the two modes clock-identical even
+        in fan-out topologies where the push frontier holds siblings.
+        """
+        run = self._runs.get(box_id)
+        if run is None:
+            return box_id, 0.0
+        consumed = 0.0
+        if box_id not in self._fused:
+            boxes = self.network.boxes
+            for member in run[1:]:
+                if boxes[member].queued():
+                    consumed += self._run_train(member)
+        return run[-1], consumed
+
     def _push_downstream(self, box_id: str) -> float:
         """Push a train's outputs through downstream boxes (train scheduling)."""
-        consumed = 0.0
-        frontier = deque(dict.fromkeys(self.network.downstream_boxes(box_id)))
+        start, consumed = self._advance_run(box_id)
+        frontier = deque(dict.fromkeys(self.network.downstream_boxes(start)))
         seen = set(frontier)
         while frontier:
             current = frontier.popleft()
@@ -504,7 +833,9 @@ class AuroraEngine:
             if box.queued() == 0:
                 continue
             consumed += self._run_train(current)
-            for succ in self.network.downstream_boxes(current):
+            expand, extra = self._advance_run(current)
+            consumed += extra
+            for succ in self.network.downstream_boxes(expand):
                 if succ not in seen:
                     seen.add(succ)
                     frontier.append(succ)
@@ -557,6 +888,10 @@ class AuroraEngine:
                     arc.queue.extend(tuples)
                     arc.tuples_transferred += len(tuples)
                     arc.queue_times.extend([self.clock] * len(tuples))
+                    target = str(kind)
+                    self.queued_counts[target] = (
+                        self.queued_counts.get(target, 0) + len(tuples)
+                    )
 
     def _deliver(self, output_name: str, tup: StreamTuple) -> None:
         self.outputs[output_name].append(tup)
@@ -602,15 +937,33 @@ class AuroraEngine:
 
         Flush emissions are enqueued and processed like normal tuples,
         so a flushed aggregate still flows through its merge network.
+        A fused run drains and flushes as one group (members back to
+        back — the same schedule whether or not fusion is active), and
+        flush emissions travel the same batched or scalar emit path as
+        steady-state traffic, so end-of-stream accounting matches.
         """
+        visited: set[str] = set()
         for box_id in self.network.topological_order():
-            box = self.network.boxes[box_id]
-            # Drain anything still queued at this box first.
-            while box.queued() > 0:
-                self._run_train(box_id, limit=box.queued())
-            for out_port, emitted in box.operator.flush():
-                box.tuples_out += 1
-                self._emit(box, out_port, emitted)
+            if box_id in visited:
+                continue
+            group = self._runs.get(box_id, (box_id,))
+            for member in group:
+                visited.add(member)
+                box = self.network.boxes[member]
+                # Drain anything still queued at this box first.
+                while box.queued() > 0:
+                    self._run_train(member, limit=box.queued())
+            for member in group:
+                box = self.network.boxes[member]
+                emissions = box.operator.flush()
+                if not emissions:
+                    continue
+                box.tuples_out += len(emissions)
+                if self.batch_execution:
+                    self._emit_batch(box, emissions)
+                else:
+                    for out_port, emitted in emissions:
+                        self._emit(box, out_port, emitted)
         self.run_until_idle()
 
     # -- load signals -------------------------------------------------------------

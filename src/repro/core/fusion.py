@@ -1,0 +1,313 @@
+"""Superbox compilation: fuse linear operator chains into batch kernels.
+
+Section 2.3 frames train scheduling as deciding "how many of the
+tuples ... to process and how far to push them toward the output"; the
+logical endpoint of pushing a train all the way is to *compile* the
+push.  A maximal linear run of stateless, order-preserving, single-in/
+single-out boxes (Filter, Map, CaseFilter) becomes one **superbox**: a
+:class:`FusedChain` that threads a whole train through every
+constituent kernel in a single pass, so the interior arcs see no deque
+traffic, no ``queue_times`` stamping, no per-hop claim/emit bookkeeping
+— the intra-node analogue of kernel fusion in modern dataflow engines.
+
+Eligibility (where a run stops):
+
+* only ``fusable`` operators with ``arity == 1`` and no cross-tuple
+  state may be members; a multi-output member (CaseFilter, Filter with
+  a false port) can only be the *tail* of its run;
+* fan-out (an output port feeding several arcs) and fan-in (Union,
+  Join) break the run;
+* arcs bearing a connection point are never interior — ad-hoc queries
+  attach there and must keep seeing every tuple;
+* arcs with queued tuples are never fused over (nothing may be hidden
+  from the scheduler's view of backlog);
+* with a ``same_node`` predicate (Aurora*), arcs crossing node
+  boundaries break the run;
+* boxes in ``protect`` (e.g. currently-migrating boxes) never join.
+
+Fusion is an execution *overlay*, not a network rewrite: constituent
+:class:`~repro.core.query.Box` objects and their arcs stay registered
+in the network, so reachability queries, ``queued_work()``, QoS
+inference, storage rebalancing and run-time rewrites (sliding,
+splitting, re-optimization, ad-hoc attach) all keep operating on the
+ground-truth graph.  The engine simply schedules the run as one unit
+(under the head box's id) and keeps *logical* attribution: per-
+constituent ``tuples_in/out``, ``busy_time``, latency sums, obs
+counters and trace spans are emitted exactly as the unfused network
+would emit them.  ``defuse()`` is therefore trivially safe at any
+scheduling boundary: a fused train always runs through every stage, so
+interior arcs are empty by construction and any queued tuples are
+already sitting at the superbox input (the head's input arc).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.operators.base import Emission, Operator
+from repro.core.operators.filter import Filter
+from repro.core.operators.map import Map
+from repro.core.query import Arc, Box, QueryNetwork
+from repro.core.tuples import StreamTuple
+
+Kernel = Callable[[list[StreamTuple]], list[StreamTuple]]
+
+
+def chainable(box: Box) -> bool:
+    """True if ``box`` may be a member of a fused run."""
+    operator = box.operator
+    return operator.fusable and operator.arity == 1 and not operator.stateful
+
+
+def _interior_kernel(operator: Operator) -> Kernel:
+    """A batch kernel for an interior (single-output) stage.
+
+    Takes and returns plain tuple lists — the port wrapper is dropped
+    because every interior emission is on port 0.  Filter and Map get
+    dedicated kernels that skip the ``(port, tuple)`` boxing entirely;
+    anything else (e.g. a single-predicate CaseFilter, whose ``routed``
+    counters must keep advancing) goes through its own
+    ``process_batch``, which is exactly equivalent by contract.
+    """
+    if type(operator) is Filter and not operator.with_false_port:
+        predicate = operator.predicate
+
+        def filter_kernel(batch: list[StreamTuple]) -> list[StreamTuple]:
+            return [t for t in batch if predicate(t)]
+
+        return filter_kernel
+    if type(operator) is Map:
+        func = operator.func
+        make = StreamTuple
+
+        def map_kernel(batch: list[StreamTuple]) -> list[StreamTuple]:
+            return [
+                make(func(t.values), timestamp=t.timestamp, seq=t.seq,
+                     origin=t.origin, trace=t.trace)
+                for t in batch
+            ]
+
+        return map_kernel
+    process_batch = operator.process_batch
+
+    def generic_kernel(batch: list[StreamTuple]) -> list[StreamTuple]:
+        return [t for _port, t in process_batch(batch, port=0)]
+
+    return generic_kernel
+
+
+class FusedChain(Operator):
+    """One superbox: a linear run of boxes compiled into a single unit.
+
+    Holds the original :class:`~repro.core.query.Box` objects (the
+    *stages*) — never copies of them — so all statistics accumulated
+    while fused are attributed to the constituents, and defusion needs
+    no state hand-back.  ``cost_per_tuple`` is the summed chain cost
+    (the superbox's cost model); the scheduler-facing backlog signal
+    stays the head's, since only the head's arc ever holds tuples.
+    """
+
+    fusable = False
+
+    def __init__(self, boxes: list[Box]):
+        stages = list(boxes)
+        if len(stages) < 2:
+            raise ValueError("a fused chain needs at least two stages")
+        super().__init__(
+            cost_per_tuple=sum(b.operator.cost_per_tuple for b in stages)
+        )
+        self.stages = stages
+        self.n_outputs = stages[-1].operator.n_outputs
+        self.interior_kernels = [
+            _interior_kernel(b.operator) for b in stages[:-1]
+        ]
+
+    @property
+    def head(self) -> Box:
+        return self.stages[0]
+
+    @property
+    def tail(self) -> Box:
+        return self.stages[-1]
+
+    def member_ids(self) -> list[str]:
+        return [box.id for box in self.stages]
+
+    def interior_arcs(self) -> list[Arc]:
+        """The (inert while fused) arcs between consecutive stages."""
+        return [box.input_arcs[0] for box in self.stages[1:]]
+
+    # -- Operator interface ------------------------------------------------
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[Emission]:
+        """Thread one tuple through every stage, updating stage stats."""
+        current = [tup]
+        for box in self.stages[:-1]:
+            next_batch: list[StreamTuple] = []
+            for item in current:
+                box.tuples_in += 1
+                emitted = box.operator.process(item, port=0)
+                box.tuples_out += len(emitted)
+                next_batch.extend(t for _p, t in emitted)
+            current = next_batch
+            if not current:
+                return []
+        tail = self.stages[-1]
+        emissions: list[Emission] = []
+        for item in current:
+            tail.tuples_in += 1
+            emitted = tail.operator.process(item, port=0)
+            tail.tuples_out += len(emitted)
+            emissions.extend(emitted)
+        return emissions
+
+    def process_batch(
+        self, tuples: list[StreamTuple], port: int = 0
+    ) -> list[Emission]:
+        """Thread a whole train through the constituent kernels once."""
+        batch = list(tuples)
+        for box, kernel in zip(self.stages[:-1], self.interior_kernels):
+            if not batch:
+                return []
+            box.tuples_in += len(batch)
+            batch = kernel(batch)
+            box.tuples_out += len(batch)
+        if not batch:
+            return []
+        tail = self.stages[-1]
+        tail.tuples_in += len(batch)
+        emissions = tail.operator.process_batch(batch, port=0)
+        tail.tuples_out += len(emissions)
+        return emissions
+
+    def flush(self) -> list[Emission]:
+        """Thread each stage's flush output through the rest of the chain.
+
+        Members are stateless by eligibility, so this is empty in
+        practice; kept correct for completeness.
+        """
+        emissions: list[Emission] = []
+        for index, box in enumerate(self.stages):
+            for _port, tup in box.operator.flush():
+                box.tuples_out += 1
+                current = [tup]
+                for succ in self.stages[index + 1:-1]:
+                    next_batch: list[StreamTuple] = []
+                    for item in current:
+                        succ.tuples_in += 1
+                        emitted = succ.operator.process(item, port=0)
+                        succ.tuples_out += len(emitted)
+                        next_batch.extend(t for _p, t in emitted)
+                    current = next_batch
+                if index == len(self.stages) - 1:
+                    emissions.append((_port, tup))
+                    continue
+                tail = self.stages[-1]
+                for item in current:
+                    tail.tuples_in += 1
+                    emitted = tail.operator.process(item, port=0)
+                    tail.tuples_out += len(emitted)
+                    emissions.extend(emitted)
+        return emissions
+
+    def describe(self) -> str:
+        return "FusedChain(" + " -> ".join(b.id for b in self.stages) + ")"
+
+
+SameNode = Callable[[str, str], bool]
+
+
+def _fusable_link(
+    network: QueryNetwork,
+    box: Box,
+    same_node: SameNode | None,
+    protect: frozenset[str],
+) -> Box | None:
+    """The next member of ``box``'s run, or None if the run ends here."""
+    if box.operator.n_outputs != 1:
+        return None
+    arcs = box.output_arcs.get(0, [])
+    if len(arcs) != 1:
+        return None
+    arc = arcs[0]
+    if arc.connection_point is not None or arc.queue:
+        return None
+    kind, _ref = arc.target
+    if kind == "out":
+        return None
+    succ = network.boxes[str(kind)]
+    if not chainable(succ) or succ.id in protect:
+        return None
+    if same_node is not None and not same_node(box.id, succ.id):
+        return None
+    return succ
+
+
+def _upstream_member(
+    network: QueryNetwork,
+    box: Box,
+    same_node: SameNode | None,
+    protect: frozenset[str],
+) -> Box | None:
+    """The box whose run ``box`` belongs to the middle of, if any."""
+    arc = box.input_arcs.get(0)
+    if arc is None or arc.source[0] == "in":
+        return None
+    source = network.boxes.get(str(arc.source[0]))
+    if source is None or not chainable(source) or source.id in protect:
+        return None
+    if _fusable_link(network, source, same_node, protect) is box:
+        return source
+    return None
+
+
+def find_runs(
+    network: QueryNetwork,
+    *,
+    same_node: SameNode | None = None,
+    protect: frozenset[str] = frozenset(),
+) -> list[list[str]]:
+    """Maximal fusable runs (length >= 2), as box-id lists in flow order.
+
+    Runs are discovered from their heads in topological order, so the
+    result is deterministic for a given network.
+    """
+    runs: list[list[str]] = []
+    assigned: set[str] = set()
+    for box_id in network.topological_order():
+        if box_id in assigned:
+            continue
+        box = network.boxes[box_id]
+        if not chainable(box) or box_id in protect:
+            continue
+        if _upstream_member(network, box, same_node, protect) is not None:
+            continue  # interior or tail of a run found via its head
+        run = [box_id]
+        current = box
+        while True:
+            succ = _fusable_link(network, current, same_node, protect)
+            if succ is None:
+                break
+            run.append(succ.id)
+            current = succ
+        if len(run) >= 2:
+            runs.append(run)
+            assigned.update(run)
+    return runs
+
+
+def build_chains(
+    network: QueryNetwork,
+    *,
+    same_node: SameNode | None = None,
+    protect: frozenset[str] = frozenset(),
+) -> tuple[dict[str, FusedChain], dict[str, str]]:
+    """Run the fusion pass; returns ``(head_id -> chain, member -> head)``."""
+    chains: dict[str, FusedChain] = {}
+    members: dict[str, str] = {}
+    for run in find_runs(network, same_node=same_node, protect=protect):
+        chain = FusedChain([network.boxes[b] for b in run])
+        chains[run[0]] = chain
+        for member in run:
+            members[member] = run[0]
+    return chains, members

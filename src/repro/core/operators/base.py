@@ -29,10 +29,14 @@ class Operator:
         cost_per_tuple: estimated CPU cost (virtual seconds) to process
             one input tuple.  Used by the scheduler, load-share daemon
             (Section 5) and QoS inference (Section 7.1, the T_B term).
+        fusable: True for stateless, order-preserving, single-input
+            operators that superbox compilation (repro.core.fusion) may
+            fuse into a linear chain.  Opt-in per operator class.
     """
 
     arity: int = 1
     n_outputs: int = 1
+    fusable: bool = False
 
     def __init__(self, cost_per_tuple: float = 0.001):
         if cost_per_tuple < 0:

@@ -30,6 +30,8 @@ class CaseFilter(StatelessOperator):
         names: optional labels for the predicates.
     """
 
+    fusable = True
+
     def __init__(
         self,
         predicates: list[Predicate],

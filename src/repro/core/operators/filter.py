@@ -28,6 +28,8 @@ class Filter(StatelessOperator):
             useful when predicates are lambdas.
     """
 
+    fusable = True
+
     def __init__(
         self,
         predicate: Predicate,

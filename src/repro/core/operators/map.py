@@ -22,6 +22,8 @@ class Map(StatelessOperator):
         name: optional label shown in catalogs.
     """
 
+    fusable = True
+
     def __init__(
         self,
         func: Callable[[Mapping[str, Any]], Mapping[str, Any]],

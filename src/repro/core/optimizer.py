@@ -143,13 +143,25 @@ def mark_commutes_with_map(filter_operator: Filter) -> Filter:
     return filter_operator
 
 
-def reoptimize(network: QueryNetwork) -> list[Rewrite]:
-    """Run all rewrite passes; returns the applied rewrites in order."""
+def reoptimize(network: QueryNetwork, engine=None) -> list[Rewrite]:
+    """Run all rewrite passes; returns the applied rewrites in order.
+
+    Pass the ``engine`` running this network to make the rewrite safe
+    end to end: superboxes covering rewritten runs are defused first
+    (operator swaps would stale their compiled kernels), and
+    ``invalidate_caches()`` re-runs the fusion pass and refreshes the
+    topology indexes afterwards.  Without it, callers holding an engine
+    must invalidate its caches themselves.
+    """
+    if engine is not None:
+        engine.defuse()
     rewrites = reorder_filter_chains(network)
     rewrites += push_filters_before_maps(network)
     # A map-swap can expose a new filter-chain ordering.
     if rewrites:
         rewrites += reorder_filter_chains(network)
+    if engine is not None:
+        engine.invalidate_caches()
     return rewrites
 
 

@@ -23,13 +23,25 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Scheduler:
-    """Strategy interface: pick the next box to run."""
+    """Strategy interface: pick the next box to run.
+
+    ``choose`` may consult the engine's scheduler-facing indexes:
+    ``engine.queued_counts`` maps only the boxes with queued input to
+    their counts (kept current by the enqueue/consume paths), so a
+    decision costs O(non-empty boxes) instead of a scan of the whole
+    network; ``engine.topo_position`` gives each box's rank in
+    ``engine.box_order`` for deterministic tie-breaking.
+    """
 
     name = "abstract"
 
     def choose(self, engine: "AuroraEngine") -> str | None:
         """Return the id of the box to run next, or None if nothing is runnable."""
         raise NotImplementedError
+
+    def network_changed(self, engine: "AuroraEngine") -> None:
+        """Hook: the engine's topology caches were rebuilt (box_order
+        may have grown, shrunk or been reordered)."""
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
@@ -54,19 +66,34 @@ class RoundRobinScheduler(Scheduler):
                 return box_id
         return None
 
+    def network_changed(self, engine: "AuroraEngine") -> None:
+        # A rewrite that shrinks box_order would otherwise leave the
+        # cursor pointing past the end, silently skewing the rotation's
+        # starting point after defuse/refuse cycles.
+        if self._cursor >= len(engine.box_order):
+            self._cursor = 0
+
 
 class LongestQueueScheduler(Scheduler):
-    """Always run the box with the most queued input tuples."""
+    """Always run the box with the most queued input tuples.
+
+    Ties break toward the earliest box in topological order, matching
+    what a first-strictly-greater scan of ``box_order`` would pick.
+    """
 
     name = "longest_queue"
 
     def choose(self, engine: "AuroraEngine") -> str | None:
         best_id: str | None = None
         best_queued = 0
-        for box_id in engine.box_order:
-            queued = engine.network.boxes[box_id].queued()
-            if queued > best_queued:
-                best_id, best_queued = box_id, queued
+        best_pos = 0
+        position = engine.topo_position
+        for box_id, queued in engine.queued_counts.items():
+            if queued < best_queued:
+                continue
+            pos = position.get(box_id, 0)
+            if queued > best_queued or best_id is None or pos < best_pos:
+                best_id, best_queued, best_pos = box_id, queued, pos
         return best_id
 
 
@@ -87,14 +114,19 @@ class QoSScheduler(Scheduler):
     def choose(self, engine: "AuroraEngine") -> str | None:
         best_id: str | None = None
         best_score = 0.0
-        for box_id in engine.box_order:
-            box = engine.network.boxes[box_id]
-            queued = box.queued()
-            if queued == 0:
+        best_pos = 0
+        position = engine.topo_position
+        for box_id, queued in engine.queued_counts.items():
+            if queued <= 0:
                 continue
             score = queued * max(self._urgency(engine, box_id), 1e-9)
-            if best_id is None or score > best_score:
-                best_id, best_score = box_id, score
+            pos = position.get(box_id, 0)
+            if (
+                best_id is None
+                or score > best_score
+                or (score == best_score and pos < best_pos)
+            ):
+                best_id, best_score, best_pos = box_id, score, pos
         return best_id
 
     def _urgency(self, engine: "AuroraEngine", box_id: str) -> float:

@@ -134,7 +134,14 @@ class AuroraNode:
         box = self._choose_box()
         if box is None:
             return
-        consumed, emissions = self._process_train(box)
+        chain = self.system.fused_chain(box.id)
+        if chain is not None:
+            # The whole superbox runs as one schedulable unit; its
+            # emissions leave from the tail box's output arcs.
+            consumed, emissions = self._process_chain_train(chain)
+            box = chain.tail
+        else:
+            consumed, emissions = self._process_train(box)
         now = self.system.sim.now
         self.busy_until = now + consumed
         self.busy_time += consumed
@@ -199,6 +206,79 @@ class AuroraNode:
         box.busy_time += consumed
         box.latency_sum += consumed  # coarse T_B contribution per train
         box.latency_count += 1
+        return consumed, emissions
+
+    def _process_chain_train(
+        self, chain
+    ) -> tuple[float, list[tuple[int, StreamTuple]]]:
+        """One train through a superbox (:class:`repro.core.fusion.FusedChain`).
+
+        Claimed once at the head's real input arc, threaded through
+        every stage kernel with no interior arc traffic, emitted from
+        the tail.  Logical attribution is per stage: each constituent
+        box accrues its own ``tuples_in/out``, ``busy_time`` and coarse
+        per-train T_B contribution, so the load-share daemon and
+        box-sliding cost model keep seeing per-box signals.  One
+        scheduling overhead covers the whole chain — that amortization
+        is the superbox's contribution to node throughput.
+        """
+        consumed = self.scheduling_overhead
+        emissions: list[tuple[int, StreamTuple]] = []
+        head = chain.head
+        stages = chain.stages
+        kernels = chain.interior_kernels
+        last = len(stages) - 1
+        budget = self.train_size
+        system = self.system
+        tracing = system._tracing
+        processed = 0
+        while budget > 0:
+            arc, n = self._claim_input(head, budget)
+            if arc is None:
+                break
+            queue = arc.queue
+            if n == len(queue):
+                batch = list(queue)
+                queue.clear()
+            else:
+                popleft = queue.popleft
+                batch = [popleft() for _ in range(n)]
+            for index, box in enumerate(stages):
+                count = len(batch)
+                if count == 0:
+                    break
+                cost = box.operator.cost_per_tuple / self.cpu_capacity
+                stage_consumed = 0.0
+                for _ in range(count):
+                    stage_consumed += cost
+                consumed += stage_consumed
+                if tracing:
+                    tracer = system.tracer
+                    now = system.sim.now
+                    for tup in batch:
+                        if tup.trace is not None:
+                            tup.trace = tracer.span(
+                                tup.trace, f"box:{box.id}", node=self.name,
+                                start=now, end=now + consumed,
+                            )
+                box.tuples_in += count
+                self.tuples_processed += count
+                processed += count
+                if index == last:
+                    out = box.operator.process_batch(batch, port=0)
+                    box.tuples_out += len(out)
+                    emissions.extend(out)
+                else:
+                    out = kernels[index](batch)
+                    box.tuples_out += len(out)
+                    batch = out
+                box.busy_time += stage_consumed
+                box.latency_sum += stage_consumed
+                box.latency_count += 1
+            budget -= n
+        if processed:
+            self._m_tuples.inc(processed)
+            self._m_trains.inc()
         return consumed, emissions
 
     @staticmethod
@@ -306,10 +386,15 @@ class AuroraNode:
         ("any tuples that are queued within S are allowed to drain off").
         """
         box = self.system.network.boxes[box_id]
+        chain = self.system.fused_chain(box_id)
         while box.queued() > 0:
-            consumed, emissions = self._process_train(box)
+            if chain is not None:
+                consumed, emissions = self._process_chain_train(chain)
+                self.route_emissions(chain.tail, emissions)
+            else:
+                consumed, emissions = self._process_train(box)
+                self.route_emissions(box, emissions)
             self.busy_time += consumed
-            self.route_emissions(box, emissions)
 
     def _on_load_probe(self, message: Message) -> None:
         """Answer a neighbor's load probe with this node's backlog."""

@@ -74,6 +74,11 @@ def slide_box(
 
     box = system.network.boxes[box_id]
 
+    # 0. defuse: if the box is fused into a superbox (as head, interior
+    # or tail), dissolve that chain before the choke so draining and
+    # per-box scheduling see the real per-box arcs again.
+    system.defuse(box_id)
+
     # 1. choke: stop scheduling the box; choke upstream connection points.
     system.migrating.add(box_id)
     choked = []
@@ -100,6 +105,9 @@ def slide_box(
     def complete() -> None:
         system.set_placement(box_id, to_node)
         system.migrating.discard(box_id)
+        # Re-run the fusion pass: the slide may have broken old
+        # same-node runs and created new ones around the moved box.
+        system.refresh_fusion()
         for arc in choked:
             held = arc.connection_point.unchoke()
             if held:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core.fusion import FusedChain, find_runs
 from repro.core.query import Arc, QueryNetwork
 from repro.core.tuples import StreamTuple
 from repro.distributed.node import AuroraNode
@@ -91,6 +92,13 @@ class AuroraStarSystem:
         self.catalog = IntraParticipantCatalog("local")
         self.catalog.define("query", network.name, network)
         self._output_subscribers: dict[str, list] = {}
+        # Superbox fusion (repro.core.fusion) across the deployment is
+        # opt-in: fused chains amortize per-box scheduling on a node,
+        # which (unlike the single-node engine's train push) coarsens
+        # the simulated timing, so callers enable it explicitly.
+        self.fusion_enabled = False
+        self._fused: dict[str, FusedChain] = {}
+        self._fused_member: dict[str, str] = {}
 
     # -- topology ---------------------------------------------------------------
 
@@ -120,6 +128,7 @@ class AuroraStarSystem:
         self.placement = {}
         for box_id, node in placement.items():
             self.set_placement(box_id, node)
+        self.refresh_fusion()
 
     def set_placement(self, box_id: str, node: str) -> None:
         """Record where a box runs, propagating to the catalog.
@@ -144,6 +153,72 @@ class AuroraStarSystem:
     def boxes_on(self, node_name: str) -> list[str]:
         """Box ids currently hosted by a node (topological order)."""
         return [b for b in self.network.topological_order() if self.placement.get(b) == node_name]
+
+    # -- superbox fusion (Aurora* overlay, opt-in) ---------------------------------
+
+    def enable_fusion(self) -> None:
+        """Compile same-node linear runs into superboxes from now on."""
+        self.fusion_enabled = True
+        self.refresh_fusion()
+
+    def disable_fusion(self) -> None:
+        """Drop all superboxes and stop compiling new ones."""
+        self.fusion_enabled = False
+        self.defuse()
+
+    def refresh_fusion(self) -> None:
+        """Re-run the fusion pass against the current network/placement.
+
+        Runs never cross node boundaries (an arc between nodes is a
+        network transfer) and never include a migrating box, so remote
+        tuple messages always target a real arc whose consumer chain is
+        local.  Like the engine's pass, this is defuse + refuse: the
+        network is the ground truth and the overlay is derived state.
+        """
+        self._fused = {}
+        self._fused_member = {}
+        if not self.fusion_enabled or not self.placement:
+            return
+        placement = self.placement
+
+        def same_node(a: str, b: str) -> bool:
+            node = placement.get(a)
+            return node is not None and node == placement.get(b)
+
+        for run in find_runs(
+            self.network, same_node=same_node, protect=frozenset(self.migrating)
+        ):
+            chain = FusedChain([self.network.boxes[b] for b in run])
+            self._fused[run[0]] = chain
+            for member in run:
+                self._fused_member[member] = run[0]
+
+    def defuse(self, box_id: str | None = None) -> None:
+        """Dissolve superboxes — all, or the one containing ``box_id``.
+
+        Called before any run-time network rewrite (sliding, splitting)
+        touches a fused box.  Constituents and arcs were never removed,
+        and interior arcs are empty (fused trains always run through
+        every stage), so dropping the overlay is all there is to it.
+        """
+        if box_id is None:
+            self._fused = {}
+            self._fused_member = {}
+            return
+        head = self._fused_member.get(box_id)
+        if head is None:
+            return
+        chain = self._fused.pop(head)
+        for stage in chain.stages:
+            self._fused_member.pop(stage.id, None)
+
+    def fused_chain(self, box_id: str) -> FusedChain | None:
+        """The superbox headed by ``box_id``, if one is compiled."""
+        return self._fused.get(box_id)
+
+    def fused_runs(self) -> list[list[str]]:
+        """Box-id runs currently compiled into superboxes."""
+        return [chain.member_ids() for chain in self._fused.values()]
 
     # -- ingestion ----------------------------------------------------------------
 

@@ -1,0 +1,175 @@
+"""Regression tests for engine fixes that ride with superbox fusion.
+
+Covers: flush() emissions taking the batched emit path when
+batch_execution is on; invalidate_caches() pruning output buffers for
+removed output streams and re-clamping the round-robin cursor; and the
+engine's sparse queued-count index staying consistent with a full scan
+of the network (the structure LongestQueue/QoS scheduling now reads).
+"""
+
+import random
+
+from repro.core.engine import AuroraEngine
+from repro.core.operators.filter import Filter
+from repro.core.operators.map import Map
+from repro.core.operators.tumble import Tumble
+from repro.core.query import QueryNetwork
+from repro.core.scheduler import (
+    LongestQueueScheduler,
+    QoSScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.tuples import make_stream
+
+
+def tumble_net():
+    """in:src -> t(count windows of A) -> m -> out:sink."""
+    net = QueryNetwork()
+    net.add_box("t", Tumble("cnt", groupby=("G",), value_attr="A", mode="count", window_size=100))
+    net.add_box("m", Map(lambda v: dict(v)))
+    net.connect("in:src", "t")
+    net.connect("t", "m")
+    net.connect("m", "out:sink")
+    return net
+
+
+class TestFlushBatchPath:
+    def test_flush_emissions_use_emit_batch(self):
+        engine = AuroraEngine(tumble_net(), batch_execution=True)
+        calls = {"batch": 0, "scalar": 0}
+        original_batch, original_scalar = engine._emit_batch, engine._emit
+
+        def spy_batch(box, emissions):
+            calls["batch"] += 1
+            return original_batch(box, emissions)
+
+        def spy_scalar(box, out_port, tup):
+            calls["scalar"] += 1
+            return original_scalar(box, out_port, tup)
+
+        engine._emit_batch, engine._emit = spy_batch, spy_scalar
+        # 5 tuples never close the 100-tuple window: only flush emits.
+        engine.push_many("src", make_stream([{"G": 0, "A": i} for i in range(5)]))
+        engine.run_until_idle()
+        assert not engine.outputs["sink"]
+        engine.flush()
+        assert len(engine.outputs["sink"]) == 1
+        assert calls["batch"] > 0
+        assert calls["scalar"] == 0
+
+    def test_flush_emissions_use_scalar_path_when_batch_off(self):
+        engine = AuroraEngine(tumble_net(), batch_execution=False)
+        engine.push_many("src", make_stream([{"G": 0, "A": i} for i in range(5)]))
+        engine.run_until_idle()
+        engine.flush()
+        assert len(engine.outputs["sink"]) == 1
+        assert engine.outputs["sink"][0]["result"] == 5
+
+    def test_flush_results_identical_across_modes(self):
+        results = {}
+        for batch in (False, True):
+            engine = AuroraEngine(tumble_net(), batch_execution=batch)
+            engine.push_many("src", make_stream([{"G": 0, "A": i} for i in range(7)]))
+            engine.run_until_idle()
+            engine.flush()
+            results[batch] = [t.values for t in engine.outputs["sink"]]
+        assert results[False] == results[True]
+
+
+class TestInvalidateCaches:
+    def test_removed_output_stream_is_pruned(self):
+        net = QueryNetwork()
+        net.add_box("f", Filter(lambda t: True))
+        net.add_box("g", Filter(lambda t: True))
+        net.connect("in:src", "f")
+        net.connect("f", "g")
+        net.connect("g", "out:keep")
+        net.connect("g", "out:drop", arc_id="g_drop")
+        engine = AuroraEngine(net)
+        engine.push_many("src", make_stream([{"A": 1}]))
+        engine.run_until_idle()
+        assert set(engine.outputs) == {"keep", "drop"}
+        # A rewrite deletes the second output stream.
+        arc = net.arcs["g_drop"]
+        net.boxes["g"].output_arcs[0].remove(arc)
+        del net.arcs["g_drop"]
+        del net.outputs["drop"]
+        engine.invalidate_caches()
+        assert set(engine.outputs) == {"keep"}
+        # Surviving buffers keep their delivered tuples.
+        assert len(engine.outputs["keep"]) == 1
+
+    def test_round_robin_cursor_clamped_on_shrink(self):
+        net = QueryNetwork()
+        for i in range(4):
+            net.add_box(f"b{i}", Filter(lambda t: True))
+            net.connect(f"in:s{i}", f"b{i}")
+            net.connect(f"b{i}", f"out:o{i}")
+        scheduler = RoundRobinScheduler()
+        engine = AuroraEngine(net, scheduler=scheduler, push_trains=False)
+        scheduler._cursor = 3
+        # Remove the last box; the cursor would point past the end.
+        del net.boxes["b3"]
+        del net.inputs["s3"]
+        del net.outputs["o3"]
+        net.arcs = {k: a for k, a in net.arcs.items() if "b3" not in (a.source[0], a.target[0])}
+        engine.invalidate_caches()
+        assert scheduler._cursor == 0
+        engine.push_many("s0", make_stream([{"A": 1}]))
+        assert scheduler.choose(engine) == "b0"
+
+
+def reference_counts(network):
+    return {
+        box_id: box.queued()
+        for box_id, box in network.boxes.items()
+        if box.queued() > 0
+    }
+
+
+class TestQueuedIndex:
+    def test_index_matches_scan_through_random_run(self):
+        rng = random.Random(7)
+        net = QueryNetwork()
+        net.add_box("f", Filter(lambda t: t["A"] % 2 == 0))
+        net.add_box("m", Map(lambda v: {"G": v["G"], "A": v["A"] + 1}))
+        net.add_box("t", Tumble("cnt", groupby=("G",), value_attr="A", mode="count", window_size=3))
+        net.connect("in:src", "f")
+        net.connect("f", "m")
+        net.connect("m", "t")
+        net.connect("t", "out:sink")
+        engine = AuroraEngine(net, train_size=4, push_trains=False)
+        for _ in range(200):
+            if rng.random() < 0.5:
+                n = rng.randint(1, 5)
+                engine.push_many("src", make_stream([{"G": 0, "A": rng.randint(0, 9)} for _ in range(n)]))
+            else:
+                engine.step()
+            assert engine.queued_counts == reference_counts(net)
+        # The index never holds zero/negative entries.
+        assert all(v > 0 for v in engine.queued_counts.values())
+
+    def test_longest_queue_choice_matches_reference_scan(self):
+        rng = random.Random(11)
+        net = QueryNetwork()
+        for i in range(6):
+            net.add_box(f"b{i}", Filter(lambda t: True))
+            net.connect(f"in:s{i}", f"b{i}")
+            net.connect(f"b{i}", f"out:o{i}")
+        engine = AuroraEngine(net, push_trains=False)
+        scheduler = LongestQueueScheduler()
+        for _ in range(100):
+            i = rng.randint(0, 5)
+            engine.push_many(f"s{i}", make_stream([{"A": 1}] * rng.randint(1, 3)))
+            # Reference: first strictly-greater scan over topo order.
+            best, best_q = None, 0
+            for box_id in engine.box_order:
+                q = net.boxes[box_id].queued()
+                if q > best_q:
+                    best, best_q = box_id, q
+            assert scheduler.choose(engine) == best
+        # QoS choice also lands on a non-empty box deterministically.
+        qos = QoSScheduler()
+        choice = qos.choose(engine)
+        assert choice is not None and net.boxes[choice].queued() > 0
+        assert qos.choose(engine) == choice
