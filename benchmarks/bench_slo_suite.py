@@ -1,0 +1,266 @@
+"""SLO — production-traffic scenario suite scored against service levels.
+
+The protocol benchmarks (E1-E16) check *mechanisms*; this suite checks
+*service*: every registered scenario in
+:mod:`repro.workloads.scenarios` — diurnal checkout traffic, flash
+crowds over a rotating hot set, an IoT fleet with device churn and an
+input outage, a Medusa federation market under participant failures, a
+financial tick stream with ad-hoc historical queries, and a
+gold/bronze tenant mix — runs deterministically in virtual time and is
+scored against its declared SLOs (latency percentiles from trace
+spans, shed fractions from the metrics registry, output staleness,
+post-fault recovery time, and scenario counters).
+
+Scenarios are scale-invariant by construction: ``--scale`` multiplies
+offered rates, population sizes *and* CPU capacity together, so the
+load-factor trajectory — and therefore the SLO targets — is identical
+at the CI smoke scale (0.25) and the nightly full scale (1.0).  Only
+wall-clock cost grows.
+
+Run standalone to emit ``BENCH_SLO.json``::
+
+    PYTHONPATH=src python benchmarks/bench_slo_suite.py \
+        [--scale F] [--seed N] [--out PATH] [--check] [--baseline PATH]
+
+``--check`` exits non-zero if any declared objective fails (the CI
+slo-smoke gate).  ``--baseline`` additionally fails the check when an
+objective that passed in a committed ``BENCH_SLO.json`` now fails, or
+when a scenario or objective present in the baseline disappeared
+(skipped with a warning when the baseline was recorded at a different
+scale/seed).  Everything in the report except the ``wall_clock_s``
+fields is deterministic for a fixed (scale, seed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.workloads.scenarios import run_scenario, scenario_names
+
+DEFAULT_SCALE = 0.25
+DEFAULT_SEED = 42
+
+
+def run_suite(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> dict:
+    """Run every registered scenario; report per-objective outcomes.
+
+    Everything except the ``wall_clock_s`` fields is a pure function of
+    ``(scale, seed)`` — the determinism test strips those and asserts
+    two runs agree byte for byte.
+    """
+    rows: dict[str, dict] = {}
+    suite_start = time.perf_counter()
+    for name in scenario_names():
+        start = time.perf_counter()
+        result = run_scenario(name, scale=scale, seed=seed)
+        row = result.summary()
+        row["wall_clock_s"] = round(time.perf_counter() - start, 3)
+        rows[name] = row
+    return {
+        "suite": "slo_scenarios",
+        "config": {
+            "scale": scale,
+            "seed": seed,
+            "python": sys.version.split()[0],
+        },
+        "scenarios": rows,
+        "passed": all(row["passed"] for row in rows.values()),
+        "wall_clock_s": round(time.perf_counter() - suite_start, 3),
+    }
+
+
+def strip_wall_clock(report: dict) -> dict:
+    """The deterministic view: the report minus wall-clock fields (and
+    the host python version, which is config not measurement)."""
+    clean = json.loads(json.dumps(report))
+    clean.pop("wall_clock_s", None)
+    clean.get("config", {}).pop("python", None)
+    for row in clean.get("scenarios", {}).values():
+        row.pop("wall_clock_s", None)
+    return clean
+
+
+def print_report(report: dict) -> None:
+    cfg = report["config"]
+    print(f"\nSLO: scenario suite (scale {cfg['scale']}, seed {cfg['seed']})")
+    for name, row in report["scenarios"].items():
+        verdict = "pass" if row["passed"] else "FAIL"
+        print(
+            f"  {name:18s} {verdict:4s}  in={row['ingested']:6d} "
+            f"out={row['delivered']:6d} shed={row['shed']:5d} "
+            f"attainment={row['attainment']:.2f}  "
+            f"({row['wall_clock_s']:.2f}s)"
+        )
+        for obj in row["objectives"]:
+            mark = "ok" if obj["passed"] else "FAIL"
+            observed = obj["observed"]
+            shown = "n/a" if observed is None else f"{observed:.4g}"
+            print(
+                f"      [{mark:4s}] {obj['name']:24s} "
+                f"{obj['kind']:13s} observed={shown:>10s} "
+                f"target={obj['target']:g}"
+            )
+    overall = "pass" if report["passed"] else "FAIL"
+    print(f"  suite: {overall} ({report['wall_clock_s']:.2f}s)")
+
+
+def check_report(report: dict, baseline: dict | None = None) -> list[str]:
+    """The CI gate: every declared objective must pass, and nothing that
+    passed in the committed baseline may fail now."""
+    failures = []
+    for name, row in report["scenarios"].items():
+        for obj in row["objectives"]:
+            if not obj["passed"]:
+                observed = obj["observed"]
+                shown = "unmeasurable" if observed is None else f"{observed:.4g}"
+                detail = f" ({obj['detail']})" if obj.get("detail") else ""
+                failures.append(
+                    f"{name}/{obj['name']}: {obj['kind']} observed {shown} "
+                    f"vs target {obj['target']:g}{detail}"
+                )
+    if baseline is not None:
+        failures += check_against_baseline(report, baseline)
+    return failures
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list[str]:
+    """Fail objectives that passed in the baseline but fail now, and
+    scenarios/objectives that vanished from the suite.
+
+    SLO verdicts are measured in virtual time, so unlike throughput
+    numbers they transfer across machines exactly — the comparison is
+    pass/fail, not a tolerance band.  A baseline recorded at a
+    different (scale, seed) samples different traffic; warn and skip
+    instead of failing.
+    """
+    current_cfg = {k: report["config"][k] for k in ("scale", "seed")}
+    baseline_cfg = {
+        k: baseline.get("config", {}).get(k) for k in ("scale", "seed")
+    }
+    if current_cfg != baseline_cfg:
+        print(
+            f"WARN: baseline config {baseline_cfg} != current {current_cfg}; "
+            "skipping baseline comparison",
+            file=sys.stderr,
+        )
+        return []
+    failures = []
+    for name, base_row in baseline.get("scenarios", {}).items():
+        row = report["scenarios"].get(name)
+        if row is None:
+            failures.append(f"{name}: scenario present in baseline but missing now")
+            continue
+        current_objs = {obj["name"]: obj for obj in row["objectives"]}
+        for base_obj in base_row["objectives"]:
+            obj = current_objs.get(base_obj["name"])
+            if obj is None:
+                failures.append(
+                    f"{name}/{base_obj['name']}: objective present in "
+                    "baseline but missing now"
+                )
+                continue
+            if base_obj["passed"] and not obj["passed"]:
+                observed = obj["observed"]
+                shown = "unmeasurable" if observed is None else f"{observed:.4g}"
+                base_shown = (
+                    "unmeasurable"
+                    if base_obj["observed"] is None
+                    else f"{base_obj['observed']:.4g}"
+                )
+                failures.append(
+                    f"{name}/{obj['name']}: regressed — baseline observed "
+                    f"{base_shown} (pass), now {shown} vs target "
+                    f"{obj['target']:g}"
+                )
+    return failures
+
+
+# -- pytest entry (tiny scale; gate assertions only) --------------------------
+
+
+def test_slo_suite_smoke():
+    report = run_suite(scale=0.1, seed=7)
+    assert len(report["scenarios"]) >= 5
+    for name, row in report["scenarios"].items():
+        assert len(row["objectives"]) >= 3, f"{name}: too few objectives"
+        assert row["ingested"] > 0, f"{name}: no traffic"
+
+
+def test_slo_suite_deterministic_modulo_wall_clock():
+    first = run_suite(scale=0.1, seed=11)
+    second = run_suite(scale=0.1, seed=11)
+    assert strip_wall_clock(first) == strip_wall_clock(second)
+
+
+def test_baseline_comparison_skips_on_config_mismatch(capsys):
+    report = run_suite(scale=0.1, seed=3)
+    baseline = json.loads(json.dumps(report))
+    baseline["config"]["scale"] = 99.0
+    assert check_against_baseline(report, baseline) == []
+    assert "skipping baseline comparison" in capsys.readouterr().err
+
+
+def test_baseline_comparison_flags_regression():
+    report = run_suite(scale=0.1, seed=3)
+    baseline = json.loads(json.dumps(report))
+    name = next(iter(report["scenarios"]))
+    # Baseline passed this objective; current run now fails it.
+    baseline["scenarios"][name]["objectives"][0]["passed"] = True
+    report["scenarios"][name]["objectives"][0]["passed"] = False
+    failures = check_against_baseline(report, baseline)
+    assert any(f.startswith(f"{name}/") for f in failures)
+
+
+def test_baseline_comparison_flags_missing_scenario():
+    report = run_suite(scale=0.1, seed=3)
+    baseline = json.loads(json.dumps(report))
+    baseline["scenarios"]["ghost_scenario"] = next(
+        iter(baseline["scenarios"].values())
+    )
+    failures = check_against_baseline(report, baseline)
+    assert any(f.startswith("ghost_scenario:") for f in failures)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="load/population/capacity multiplier "
+                             "(0.25 = CI smoke, 1.0 = nightly full)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--out", default="BENCH_SLO.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if any declared SLO fails")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_SLO.json; under --check, "
+                             "fail objectives that regressed from "
+                             "passing in the baseline")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+
+    report = run_suite(scale=args.scale, seed=args.seed)
+    print_report(report)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_report(report, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,24 +5,78 @@ location-tracking, fabrication-line and network management; Section 4.4
 uses stock quotes.  These generators produce deterministic (seeded)
 timestamped tuple streams for those domains, used by the examples,
 tests and benchmarks.
+
+On top of the raw generators sit production-traffic *scenarios*
+(:mod:`repro.workloads.scenarios`) scored against declared service
+levels (:mod:`repro.workloads.slo`).
 """
 
 from repro.workloads.generators import (
     BurstySource,
+    DiurnalSource,
+    FlashCrowdSource,
     NetworkFlowSource,
     PoissonSource,
+    RateCurveSource,
+    SensorFleetSource,
     SensorSource,
     StockQuoteSource,
     UniformSource,
+    diurnal_rate,
     zipf_weights,
+)
+from repro.workloads.population import KeyedPopulation
+from repro.workloads.scenarios import (
+    CapacityFault,
+    Fault,
+    HookFault,
+    InputOutageFault,
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    make_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.workloads.slo import (
+    SLO,
+    FaultWindow,
+    ObjectiveResult,
+    Probe,
+    RunTimeline,
+    SLOReport,
+    evaluate_slos,
 )
 
 __all__ = [
     "BurstySource",
+    "CapacityFault",
+    "DiurnalSource",
+    "Fault",
+    "FaultWindow",
+    "FlashCrowdSource",
+    "HookFault",
+    "InputOutageFault",
+    "KeyedPopulation",
     "NetworkFlowSource",
+    "ObjectiveResult",
     "PoissonSource",
+    "Probe",
+    "RateCurveSource",
+    "RunTimeline",
+    "SLO",
+    "SLOReport",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SensorFleetSource",
     "SensorSource",
     "StockQuoteSource",
     "UniformSource",
+    "diurnal_rate",
+    "evaluate_slos",
+    "make_scenario",
+    "run_scenario",
+    "scenario_names",
     "zipf_weights",
 ]

@@ -3,6 +3,11 @@
 All generators are seeded and produce plain lists of
 :class:`~repro.core.tuples.StreamTuple` with monotone timestamps, so
 any experiment can be replayed exactly.
+
+Skewed key selection is delegated to
+:class:`~repro.workloads.population.KeyedPopulation` — one shared
+implementation of Zipf popularity, hot-key rotation and churn — instead
+of per-generator ad-hoc weight tables.
 """
 
 from __future__ import annotations
@@ -12,19 +17,21 @@ import random
 from typing import Any, Callable
 
 from repro.core.tuples import StreamTuple
+from repro.workloads.population import KeyedPopulation, zipf_weights
 
-
-def zipf_weights(n: int, s: float = 1.0) -> list[float]:
-    """Normalized Zipf weights for ``n`` ranks with exponent ``s``.
-
-    Used to skew group popularity (hot sensors, hot stock symbols) —
-    the skew that makes load balancing interesting.
-    """
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    raw = [1.0 / (rank ** s) for rank in range(1, n + 1)]
-    total = sum(raw)
-    return [w / total for w in raw]
+__all__ = [
+    "zipf_weights",
+    "UniformSource",
+    "PoissonSource",
+    "BurstySource",
+    "RateCurveSource",
+    "DiurnalSource",
+    "FlashCrowdSource",
+    "SensorSource",
+    "SensorFleetSource",
+    "StockQuoteSource",
+    "NetworkFlowSource",
+]
 
 
 class _Source:
@@ -124,6 +131,166 @@ class BurstySource(_Source):
                 i += 1
 
 
+class RateCurveSource(_Source):
+    """Inhomogeneous Poisson arrivals under an arbitrary rate curve.
+
+    Generalizes :class:`BurstySource`'s thinning trick: draw candidate
+    arrivals at ``peak_rate`` and keep each with probability
+    ``rate_fn(t) / peak_rate``.  Any production traffic shape — diurnal
+    cycles, ramps, flash crowds — is a rate curve.
+
+    Args:
+        rate_fn: instantaneous rate (tuples/second) as a function of
+            absolute time.  Must never exceed ``peak_rate``.
+        peak_rate: an upper bound on ``rate_fn`` (the thinning envelope).
+        make_row: row factory, called with the tuple index.
+    """
+
+    def __init__(
+        self,
+        rate_fn: Callable[[float], float],
+        peak_rate: float,
+        make_row: Callable[[int], dict],
+        seed: int = 0,
+    ):
+        super().__init__(seed)
+        if peak_rate <= 0:
+            raise ValueError("peak_rate must be positive")
+        self.rate_fn = rate_fn
+        self.peak_rate = peak_rate
+        self.make_row = make_row
+
+    def rate_at(self, t: float) -> float:
+        return self.rate_fn(t)
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        tuples = []
+        t = start_time
+        i = 0
+        while True:
+            t += self.rng.expovariate(self.peak_rate)
+            if t >= start_time + duration:
+                return tuples
+            rate = self.rate_fn(t)
+            if rate > self.peak_rate + 1e-9:
+                raise ValueError(
+                    f"rate_fn({t:.3f}) = {rate:.3f} exceeds peak_rate "
+                    f"{self.peak_rate:.3f}"
+                )
+            if self.rng.random() < rate / self.peak_rate:
+                tuples.append(StreamTuple(self.make_row(i), timestamp=t))
+                i += 1
+
+
+def diurnal_rate(
+    base_rate: float,
+    peak_rate: float,
+    period: float = 24.0,
+    peak_at: float = 15.0,
+) -> Callable[[float], float]:
+    """A smooth day/night load curve (the classic production traffic
+    shape): sinusoidal between ``base_rate`` (trough) and ``peak_rate``
+    (peak), peaking at ``peak_at`` within each ``period``."""
+    if peak_rate < base_rate:
+        raise ValueError("peak_rate must be >= base_rate")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    mid = (peak_rate + base_rate) / 2.0
+    amplitude = (peak_rate - base_rate) / 2.0
+
+    def rate(t: float) -> float:
+        phase = 2.0 * math.pi * (t - peak_at) / period
+        return mid + amplitude * math.cos(phase)
+
+    return rate
+
+
+class DiurnalSource(RateCurveSource):
+    """Poisson arrivals under a diurnal (day/night) rate curve."""
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        make_row: Callable[[int], dict],
+        period: float = 24.0,
+        peak_at: float = 15.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            diurnal_rate(base_rate, peak_rate, period=period, peak_at=peak_at),
+            peak_rate,
+            make_row,
+            seed=seed,
+        )
+        self.base_rate = base_rate
+        self.period = period
+        self.peak_at = peak_at
+
+
+class FlashCrowdSource(RateCurveSource):
+    """A base Poisson load with multiplicative flash-crowd windows and a
+    rotating hot-key population.
+
+    During each ``(start, end)`` crowd window the rate jumps to
+    ``crowd_rate``; the keys the crowd hammers come from a
+    :class:`KeyedPopulation` whose hot set rotates over time, so the
+    same partition never stays hot for the whole run.
+
+    Rows carry ``{"key": <population key>, "req": <index>}`` plus
+    whatever ``extra_row`` adds.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        crowd_rate: float,
+        crowds: list[tuple[float, float]],
+        population: KeyedPopulation,
+        seed: int = 0,
+        extra_row: Callable[[int], dict] | None = None,
+    ):
+        if crowd_rate < base_rate:
+            raise ValueError("crowd_rate must be >= base_rate")
+        for start, end in crowds:
+            if end <= start:
+                raise ValueError(f"empty crowd window ({start}, {end})")
+        self.crowds = sorted(crowds)
+        self.population = population
+        self.extra_row = extra_row
+
+        def rate(t: float) -> float:
+            for start, end in self.crowds:
+                if start <= t < end:
+                    return crowd_rate
+            return base_rate
+
+        super().__init__(rate, crowd_rate, self._row, seed=seed)
+        self._clock = 0.0
+
+    def _row(self, i: int) -> dict:
+        key = self.population.sample(self.rng, at=self._clock)
+        row = {"key": key, "req": i}
+        if self.extra_row is not None:
+            row.update(self.extra_row(i))
+        return row
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        # Same thinning loop as RateCurveSource, but the row factory
+        # needs the arrival time (hot-key rotation is time-driven).
+        tuples = []
+        t = start_time
+        i = 0
+        while True:
+            t += self.rng.expovariate(self.peak_rate)
+            if t >= start_time + duration:
+                return tuples
+            if self.rng.random() < self.rate_fn(t) / self.peak_rate:
+                self._clock = t
+                tuples.append(StreamTuple(self._row(i), timestamp=t))
+                i += 1
+
+
 class SensorSource(_Source):
     """Sensor readings: per-sensor random-walk values with Zipf-skewed
     reporting frequency.  Fields: sensor, value."""
@@ -142,23 +309,84 @@ class SensorSource(_Source):
         self.n_sensors = n_sensors
         self.rate = rate
         self.noise = noise
-        self.weights = (
-            zipf_weights(n_sensors, skew) if skew > 0 else [1.0 / n_sensors] * n_sensors
-        )
+        self.population = KeyedPopulation(n_sensors, skew=skew)
+        self.weights = self.population.weights
         self._values = [20.0 + self.rng.random() * 5.0 for _ in range(n_sensors)]
 
     def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
         spacing = 1.0 / self.rate
         count = int(duration * self.rate)
-        sensors = list(range(self.n_sensors))
         tuples = []
         for i in range(count):
-            sensor = self._choose_weighted(sensors, self.weights)
+            sensor = self.population.sample(self.rng)
             self._values[sensor] += self.rng.gauss(0.0, self.noise)
             tuples.append(
                 StreamTuple(
                     {"sensor": sensor, "value": round(self._values[sensor], 3)},
                     timestamp=start_time + i * spacing,
+                )
+            )
+        return tuples
+
+
+class SensorFleetSource(_Source):
+    """An IoT fleet: skewed per-device reporting *with device churn*.
+
+    Devices die and are replaced at a steady pace (every
+    ``churn_every`` seconds a uniformly chosen device retires and a
+    fresh id joins at the same popularity rank), so any state keyed by
+    device id sees a slowly moving universe.  Fields: device, value.
+    """
+
+    def __init__(
+        self,
+        n_devices: int,
+        rate: float,
+        skew: float = 1.0,
+        churn_every: float = 0.0,
+        seed: int = 0,
+        noise: float = 0.5,
+    ):
+        super().__init__(seed)
+        if n_devices < 1:
+            raise ValueError("need at least one device")
+        if churn_every < 0:
+            raise ValueError("churn_every must be non-negative")
+        self.rate = rate
+        self.noise = noise
+        self.churn_every = churn_every
+        self.population = KeyedPopulation(n_devices, skew=skew)
+        self._next_id = n_devices
+        self._values: dict[int, float] = {
+            d: 20.0 + self.rng.random() * 5.0 for d in range(n_devices)
+        }
+
+    @property
+    def devices(self) -> list[int]:
+        """Current fleet membership (rank order)."""
+        return self.population.keys
+
+    def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
+        spacing = 1.0 / self.rate
+        count = int(duration * self.rate)
+        next_churn = (
+            start_time + self.churn_every if self.churn_every > 0 else math.inf
+        )
+        tuples = []
+        for i in range(count):
+            t = start_time + i * spacing
+            while t >= next_churn:
+                retired = self.population.churn(self.rng, self._next_id)
+                self._values.pop(retired, None)
+                self._values[self._next_id] = 20.0 + self.rng.random() * 5.0
+                self._next_id += 1
+                next_churn += self.churn_every
+            device = self.population.sample(self.rng)
+            self._values[device] += self.rng.gauss(0.0, self.noise)
+            tuples.append(
+                StreamTuple(
+                    {"device": device, "value": round(self._values[device], 3)},
+                    timestamp=t,
                 )
             )
         return tuples
@@ -181,7 +409,8 @@ class StockQuoteSource(_Source):
         self.symbols = list(symbols)
         self.rate = rate
         self.volatility = volatility
-        self.weights = zipf_weights(len(symbols), skew)
+        self.population = KeyedPopulation(self.symbols, skew=skew)
+        self.weights = self.population.weights
         self._prices = {
             sym: 50.0 + 100.0 * self.rng.random() for sym in self.symbols
         }
@@ -191,7 +420,7 @@ class StockQuoteSource(_Source):
         count = int(duration * self.rate)
         tuples = []
         for i in range(count):
-            sym = self._choose_weighted(self.symbols, self.weights)
+            sym = self.population.sample(self.rng)
             self._prices[sym] *= math.exp(self.rng.gauss(0.0, self.volatility))
             tuples.append(
                 StreamTuple(
@@ -217,16 +446,18 @@ class NetworkFlowSource(_Source):
             raise ValueError("need at least two hosts")
         self.n_hosts = n_hosts
         self.rate = rate
-        self.weights = zipf_weights(n_hosts, skew)
+        self.population = KeyedPopulation(
+            [f"10.0.0.{i}" for i in range(n_hosts)], skew=skew
+        )
+        self.weights = self.population.weights
 
     def generate(self, duration: float, start_time: float = 0.0) -> list[StreamTuple]:
         spacing = 1.0 / self.rate
         count = int(duration * self.rate)
-        hosts = [f"10.0.0.{i}" for i in range(self.n_hosts)]
         tuples = []
         for i in range(count):
-            src = self._choose_weighted(hosts, self.weights)
-            dst = self._choose_weighted(hosts, self.weights)
+            src = self.population.sample(self.rng)
+            dst = self.population.sample(self.rng)
             tuples.append(
                 StreamTuple(
                     {

@@ -1,0 +1,330 @@
+"""Service-level objectives over observed runs.
+
+The protocol benchmarks (E1-E16) check mechanisms; production systems
+are judged on *service levels*: latency percentiles, how much load was
+shed, how stale outputs went, how fast the system recovered from a
+fault.  This module declares those objectives (:class:`SLO`) and
+evaluates them (:func:`evaluate_slos`) against the primary observability
+surfaces — the :class:`~repro.obs.registry.MetricsRegistry` and the
+:class:`~repro.obs.trace.SpanSink` — plus a :class:`RunTimeline` of
+probes a scenario runner records while driving the engine.
+
+Everything here is pure measurement: evaluation never mutates the
+registry or the sink, and an objective that cannot be measured (zero
+delivered tuples, a fault the system never recovered from) **fails**
+rather than raising.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import SpanSink
+
+SLO_KINDS = (
+    "latency",
+    "shed_fraction",
+    "staleness",
+    "recovery",
+    "counter_min",
+    "counter_max",
+)
+
+#: kinds where the target is an upper bound (observed <= target passes).
+_MAX_BOUND = {"latency", "shed_fraction", "staleness", "recovery", "counter_max"}
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declared objective.
+
+    Args:
+        name: stable identifier (keys the benchmark report).
+        kind: what is measured —
+
+            * ``"latency"``: the ``percentile`` of end-to-end delivery
+              latency, from trace spans (optionally restricted to one
+              output ``stream``).  Virtual seconds; target is a max.
+            * ``"shed_fraction"``: shed / (shed + ingested) from the
+              registry (optionally for one input ``stream``); max.
+            * ``"staleness"``: worst probed output staleness (clock
+              minus delivered watermark), optionally one ``stream``; max.
+            * ``"recovery"``: worst time from fault clearance until the
+              engine's queued work fell back under the timeline's
+              recovery threshold; max.
+            * ``"counter_min"`` / ``"counter_max"``: bound on the total
+              of the registry counter named by ``metric``.
+        target: the bound (upper for everything except ``counter_min``).
+        percentile: which latency percentile (``"latency"`` only).
+        stream: optional output stream / input name restriction.
+        metric: registry counter name (``counter_min`` / ``counter_max``).
+    """
+
+    name: str
+    kind: str
+    target: float
+    percentile: float = 99.0
+    stream: str | None = None
+    metric: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; use one of {SLO_KINDS}")
+        if self.kind == "latency" and not 0.0 < self.percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if self.kind in ("counter_min", "counter_max") and not self.metric:
+            raise ValueError(f"kind {self.kind!r} requires a metric name")
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One injected fault's extent, as the evaluator sees it."""
+
+    kind: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One periodic observation of engine health during a run."""
+
+    time: float
+    queued_work: float
+    backlog_tuples: int
+    staleness: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunTimeline:
+    """What the scenario runner saw while driving the engine.
+
+    Args:
+        probes: periodic :class:`Probe` records, in time order.
+        faults: injected fault windows.
+        duration: nominal scenario length (virtual seconds).
+        recovery_backlog: queued-work level (CPU-seconds) at or below
+            which the engine counts as recovered after a fault.
+    """
+
+    probes: list[Probe] = field(default_factory=list)
+    faults: list[FaultWindow] = field(default_factory=list)
+    duration: float = 0.0
+    recovery_backlog: float = 0.05
+
+
+# -- measurement ------------------------------------------------------------
+
+
+def percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile of a non-empty sample."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def trace_latencies(sink: SpanSink, stream: str | None = None) -> list[float]:
+    """End-to-end latency of every *delivered* sampled tuple.
+
+    A trace's latency is the gap between its root span's start (the
+    source timestamp) and the latest span end recorded for it.  Traces
+    with no ``deliver:`` span (tuple shed mid-run, or still queued)
+    carry no delivery latency and are skipped; with ``stream`` set, only
+    traces delivered to that output count.
+    """
+    starts: dict[int, float] = {}
+    ends: dict[int, float] = {}
+    delivered: set[int] = set()
+    want = None if stream is None else f"deliver:{stream}"
+    for span in sink.spans:
+        tid = span.trace_id
+        if span.parent_id is None:
+            prior = starts.get(tid)
+            if prior is None or span.start < prior:
+                starts[tid] = span.start
+        prior_end = ends.get(tid)
+        if prior_end is None or span.end > prior_end:
+            ends[tid] = span.end
+        if span.name.startswith("deliver:") and (want is None or span.name == want):
+            delivered.add(tid)
+    return [
+        ends[tid] - starts[tid]
+        for tid in sorted(delivered)
+        if tid in starts
+    ]
+
+
+def shed_fraction(
+    registry: MetricsRegistry, input_name: str | None = None
+) -> float | None:
+    """Dropped / offered over the whole run, or None if nothing was offered."""
+    if input_name is None:
+        shed = registry.total("engine.shed.dropped")
+        ingested = registry.total("engine.ingest.tuples")
+    else:
+        shed = registry.label_values("engine.shed.dropped", "input").get(input_name, 0)
+        ingested = registry.label_values("engine.ingest.tuples", "input").get(
+            input_name, 0
+        )
+    offered = shed + ingested
+    if offered <= 0:
+        return None
+    return shed / offered
+
+
+def recovery_times(timeline: RunTimeline) -> dict[FaultWindow, float | None]:
+    """Per-fault time from clearance to backlog falling under the
+    recovery threshold (None if it never did within the probes)."""
+    out: dict[FaultWindow, float | None] = {}
+    for fault in timeline.faults:
+        recovered_at: float | None = None
+        for probe in timeline.probes:
+            if probe.time >= fault.end and probe.queued_work <= timeline.recovery_backlog:
+                recovered_at = probe.time
+                break
+        out[fault] = None if recovered_at is None else max(0.0, recovered_at - fault.end)
+    return out
+
+
+def max_staleness(timeline: RunTimeline, stream: str | None = None) -> float | None:
+    """Worst probed staleness (optionally of one output stream)."""
+    worst: float | None = None
+    for probe in timeline.probes:
+        for name, value in probe.staleness.items():
+            if stream is not None and name != stream:
+                continue
+            if worst is None or value > worst:
+                worst = value
+    return worst
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+@dataclass
+class ObjectiveResult:
+    """One SLO's outcome: what was observed, and whether it passed."""
+
+    slo: SLO
+    observed: float | None
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        row: dict = {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "target": self.slo.target,
+            "observed": (
+                None if self.observed is None else round(self.observed, 6)
+            ),
+            "passed": self.passed,
+        }
+        if self.slo.kind == "latency":
+            row["percentile"] = self.slo.percentile
+        if self.slo.stream is not None:
+            row["stream"] = self.slo.stream
+        if self.slo.metric is not None:
+            row["metric"] = self.slo.metric
+        if self.detail:
+            row["detail"] = self.detail
+        return row
+
+
+@dataclass
+class SLOReport:
+    """All objective outcomes for one scenario run."""
+
+    scenario: str
+    objectives: list[ObjectiveResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(obj.passed for obj in self.objectives)
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of objectives met (1.0 when none are declared)."""
+        if not self.objectives:
+            return 1.0
+        met = sum(1 for obj in self.objectives if obj.passed)
+        return met / len(self.objectives)
+
+    def failed_objectives(self) -> list[ObjectiveResult]:
+        return [obj for obj in self.objectives if not obj.passed]
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "passed": self.passed,
+            "attainment": round(self.attainment, 4),
+            "objectives": [obj.to_dict() for obj in self.objectives],
+        }
+
+
+def _evaluate_one(
+    slo: SLO,
+    registry: MetricsRegistry,
+    sink: SpanSink,
+    timeline: RunTimeline,
+) -> ObjectiveResult:
+    observed: float | None
+    detail = ""
+    if slo.kind == "latency":
+        latencies = trace_latencies(sink, stream=slo.stream)
+        if latencies:
+            observed = percentile(latencies, slo.percentile)
+            detail = f"{len(latencies)} sampled deliveries"
+        else:
+            observed = None
+            detail = "no delivered traces"
+    elif slo.kind == "shed_fraction":
+        observed = shed_fraction(registry, input_name=slo.stream)
+        if observed is None:
+            # Nothing offered means nothing was shed; vacuous pass.
+            observed = 0.0
+            detail = "no tuples offered"
+    elif slo.kind == "staleness":
+        observed = max_staleness(timeline, stream=slo.stream)
+        if observed is None:
+            detail = "no staleness probes"
+    elif slo.kind == "recovery":
+        per_fault = recovery_times(timeline)
+        if not per_fault:
+            observed = 0.0
+            detail = "no faults injected"
+        elif any(v is None for v in per_fault.values()):
+            observed = None
+            stuck = sorted(f.kind for f, v in per_fault.items() if v is None)
+            detail = f"never recovered from: {', '.join(stuck)}"
+        else:
+            observed = max(v for v in per_fault.values() if v is not None)
+            detail = f"{len(per_fault)} fault(s)"
+    else:  # counter_min / counter_max
+        assert slo.metric is not None
+        observed = registry.total(slo.metric)
+    if observed is None:
+        return ObjectiveResult(slo, None, False, detail)
+    if slo.kind in _MAX_BOUND:
+        passed = observed <= slo.target
+    else:
+        passed = observed >= slo.target
+    return ObjectiveResult(slo, observed, passed, detail)
+
+
+def evaluate_slos(
+    scenario: str,
+    slos: list[SLO],
+    registry: MetricsRegistry,
+    sink: SpanSink,
+    timeline: RunTimeline,
+) -> SLOReport:
+    """Score every declared objective against one run's observations."""
+    return SLOReport(
+        scenario=scenario,
+        objectives=[_evaluate_one(slo, registry, sink, timeline) for slo in slos],
+    )

@@ -1,0 +1,258 @@
+"""Tests for SLO declaration and evaluation over synthetic fixtures.
+
+Every measurement path is driven off hand-built spans, counters and
+timelines with known answers; the edge cases the issue calls out —
+zero delivered tuples, a fault the system never recovers from — must
+*fail* the objective, never crash the evaluator.
+"""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import SpanSink
+from repro.workloads.slo import (
+    SLO,
+    FaultWindow,
+    Probe,
+    RunTimeline,
+    SLOReport,
+    evaluate_slos,
+    max_staleness,
+    percentile,
+    recovery_times,
+    shed_fraction,
+    trace_latencies,
+)
+
+
+def sink_with_latencies(latencies, stream="sink"):
+    """One trace per latency: root source span + a deliver leaf."""
+    sink = SpanSink()
+    for tid, latency in enumerate(latencies):
+        start = 10.0 + tid
+        sink.record(tid, None, "source:in", start=start, end=start)
+        sink.record(tid, 0, f"deliver:{stream}", start=start + latency,
+                    end=start + latency)
+    return sink
+
+
+def registry_with_shed(ingested, shed, input_name="in"):
+    registry = MetricsRegistry()
+    if ingested:
+        registry.counter("engine.ingest.tuples", input=input_name).inc(ingested)
+    if shed:
+        registry.counter("engine.shed.dropped", input=input_name).inc(shed)
+    return registry
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [x / 100.0 for x in range(1, 101)]
+        assert percentile(values, 50.0) == 0.50
+        assert percentile(values, 99.0) == 0.99
+        assert percentile(values, 100.0) == 1.00
+        assert percentile(values, 0.5) == 0.01
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 100.0) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 99.0)
+
+
+class TestTraceLatencies:
+    def test_known_latencies_recovered(self):
+        sink = sink_with_latencies([0.1, 0.5, 0.3])
+        assert trace_latencies(sink) == pytest.approx([0.1, 0.5, 0.3])
+
+    def test_undelivered_traces_skipped(self):
+        sink = sink_with_latencies([0.2])
+        sink.record(99, None, "source:in", start=50.0, end=50.0)  # shed mid-run
+        assert trace_latencies(sink) == pytest.approx([0.2])
+
+    def test_stream_restriction(self):
+        sink = SpanSink()
+        sink.record(0, None, "source:in", start=0.0, end=0.0)
+        sink.record(0, 0, "deliver:fast", start=0.1, end=0.1)
+        sink.record(1, None, "source:in", start=0.0, end=0.0)
+        sink.record(1, 2, "deliver:slow", start=2.0, end=2.0)
+        assert trace_latencies(sink, stream="fast") == pytest.approx([0.1])
+        assert trace_latencies(sink, stream="slow") == pytest.approx([2.0])
+        assert len(trace_latencies(sink)) == 2
+
+
+class TestShedFraction:
+    def test_global_fraction(self):
+        assert shed_fraction(registry_with_shed(75, 25)) == pytest.approx(0.25)
+
+    def test_per_input(self):
+        registry = registry_with_shed(80, 20, input_name="gold")
+        registry.counter("engine.ingest.tuples", input="bronze").inc(10)
+        registry.counter("engine.shed.dropped", input="bronze").inc(90)
+        assert shed_fraction(registry, "gold") == pytest.approx(0.2)
+        assert shed_fraction(registry, "bronze") == pytest.approx(0.9)
+
+    def test_nothing_offered_is_none(self):
+        assert shed_fraction(MetricsRegistry()) is None
+        assert shed_fraction(registry_with_shed(5, 0), "other") is None
+
+
+class TestRecoveryAndStaleness:
+    def timeline(self, probes, faults):
+        return RunTimeline(probes=probes, faults=faults, duration=10.0,
+                           recovery_backlog=0.05)
+
+    def test_recovery_time_from_probes(self):
+        fault = FaultWindow("capacity", 2.0, 4.0)
+        probes = [Probe(3.0, 9.0, 90), Probe(5.0, 1.0, 10), Probe(6.0, 0.01, 0)]
+        times = recovery_times(self.timeline(probes, [fault]))
+        assert times[fault] == pytest.approx(2.0)
+
+    def test_recovered_instantly_clamps_to_zero(self):
+        fault = FaultWindow("outage", 2.0, 4.0)
+        probes = [Probe(4.0, 0.0, 0)]
+        assert recovery_times(self.timeline(probes, [fault]))[fault] == 0.0
+
+    def test_never_recovers_is_none(self):
+        fault = FaultWindow("capacity", 2.0, 4.0)
+        probes = [Probe(5.0, 3.0, 30), Probe(9.0, 2.0, 20)]
+        assert recovery_times(self.timeline(probes, [fault]))[fault] is None
+
+    def test_max_staleness_and_stream_filter(self):
+        probes = [
+            Probe(1.0, 0.0, 0, staleness={"a": 0.5, "b": 2.0}),
+            Probe(2.0, 0.0, 0, staleness={"a": 1.5}),
+        ]
+        timeline = self.timeline(probes, [])
+        assert max_staleness(timeline) == 2.0
+        assert max_staleness(timeline, stream="a") == 1.5
+        assert max_staleness(timeline, stream="missing") is None
+
+
+class TestSLOValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SLO("x", "throughput", 1.0)
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError, match="percentile"):
+            SLO("x", "latency", 1.0, percentile=0.0)
+
+    def test_counter_requires_metric(self):
+        with pytest.raises(ValueError, match="requires a metric"):
+            SLO("x", "counter_min", 1.0)
+
+
+class TestEvaluate:
+    def run(self, slos, registry=None, sink=None, timeline=None):
+        return evaluate_slos(
+            "synthetic",
+            slos,
+            registry or MetricsRegistry(),
+            sink or SpanSink(),
+            timeline or RunTimeline(duration=10.0),
+        )
+
+    def test_latency_pass_and_fail(self):
+        sink = sink_with_latencies([x / 100.0 for x in range(1, 101)])
+        report = self.run(
+            [SLO("p50", "latency", 0.6, percentile=50.0),
+             SLO("p99", "latency", 0.6, percentile=99.0)],
+            sink=sink,
+        )
+        p50, p99 = report.objectives
+        assert p50.passed and p50.observed == pytest.approx(0.50)
+        assert not p99.passed and p99.observed == pytest.approx(0.99)
+        assert not report.passed
+        assert report.attainment == pytest.approx(0.5)
+        assert report.failed_objectives() == [p99]
+
+    def test_zero_delivered_fails_not_crashes(self):
+        # Root spans exist but nothing was ever delivered.
+        sink = SpanSink()
+        sink.record(0, None, "source:in", start=1.0, end=1.0)
+        report = self.run([SLO("p99", "latency", 1.0)], sink=sink)
+        (obj,) = report.objectives
+        assert obj.passed is False
+        assert obj.observed is None
+        assert obj.detail == "no delivered traces"
+        assert obj.to_dict()["observed"] is None
+
+    def test_shed_fraction_objective(self):
+        registry = registry_with_shed(90, 10)
+        report = self.run(
+            [SLO("shed", "shed_fraction", 0.15),
+             SLO("shed_tight", "shed_fraction", 0.05)],
+            registry=registry,
+        )
+        assert report.objectives[0].passed
+        assert not report.objectives[1].passed
+
+    def test_shed_with_no_traffic_is_vacuous_pass(self):
+        report = self.run([SLO("shed", "shed_fraction", 0.1)])
+        (obj,) = report.objectives
+        assert obj.passed and obj.observed == 0.0
+        assert obj.detail == "no tuples offered"
+
+    def test_recovery_objective_and_never_recovers(self):
+        fault = FaultWindow("capacity", 2.0, 4.0)
+        good = RunTimeline(
+            probes=[Probe(5.0, 0.0, 0)], faults=[fault], duration=10.0)
+        bad = RunTimeline(
+            probes=[Probe(5.0, 9.0, 90)], faults=[fault], duration=10.0)
+        ok = self.run([SLO("rec", "recovery", 1.5)], timeline=good)
+        assert ok.objectives[0].passed
+        assert ok.objectives[0].observed == pytest.approx(1.0)
+        stuck = self.run([SLO("rec", "recovery", 1.5)], timeline=bad)
+        (obj,) = stuck.objectives
+        assert obj.passed is False and obj.observed is None
+        assert "never recovered from: capacity" in obj.detail
+
+    def test_recovery_with_no_faults_passes(self):
+        report = self.run([SLO("rec", "recovery", 1.0)])
+        assert report.objectives[0].passed
+        assert report.objectives[0].detail == "no faults injected"
+
+    def test_staleness_objective(self):
+        timeline = RunTimeline(
+            probes=[Probe(1.0, 0.0, 0, staleness={"out": 3.0})], duration=5.0)
+        report = self.run(
+            [SLO("stale", "staleness", 2.0, stream="out")], timeline=timeline)
+        assert not report.objectives[0].passed
+        assert report.objectives[0].observed == 3.0
+
+    def test_staleness_without_probes_fails(self):
+        report = self.run([SLO("stale", "staleness", 2.0)])
+        (obj,) = report.objectives
+        assert obj.passed is False and obj.observed is None
+        assert obj.detail == "no staleness probes"
+
+    def test_counter_bounds(self):
+        registry = MetricsRegistry()
+        registry.counter("market.rounds").inc(20)
+        report = self.run(
+            [SLO("enough", "counter_min", 19, metric="market.rounds"),
+             SLO("too_many", "counter_max", 10, metric="market.rounds")],
+            registry=registry,
+        )
+        assert report.objectives[0].passed
+        assert not report.objectives[1].passed
+
+    def test_report_to_dict_shape(self):
+        sink = sink_with_latencies([0.2], stream="gold")
+        report = self.run(
+            [SLO("lat", "latency", 1.0, percentile=95.0, stream="gold")],
+            sink=sink,
+        )
+        row = report.to_dict()
+        assert row["scenario"] == "synthetic"
+        assert row["passed"] is True
+        (obj,) = row["objectives"]
+        assert obj["percentile"] == 95.0
+        assert obj["stream"] == "gold"
+        assert obj["observed"] == pytest.approx(0.2)
+
+    def test_empty_report_attainment(self):
+        report = SLOReport(scenario="empty")
+        assert report.passed and report.attainment == 1.0
