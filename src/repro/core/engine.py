@@ -16,9 +16,18 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import islice
-from typing import Iterable
+from typing import Iterable, Union
+
+import numpy as np
 
 from repro.core.catalog import LocalCatalog
+from repro.core.columnar import (
+    ColumnarTrain,
+    OutputBuffer,
+    accumulate_chain,
+    running_max,
+    sequential_sum,
+)
 from repro.core.fusion import FusedChain, find_runs
 from repro.core.qos import QoSMonitor, QoSSpec
 from repro.core.query import Arc, Box, QueryNetwork
@@ -73,6 +82,19 @@ class AuroraEngine:
             spans are still emitted exactly as the unfused network would
             emit them.  Effective only with ``push_trains`` (the fused
             pass is the compiled form of the train push).
+        columnar: if True (the default), trains admitted via
+            :meth:`push_train` stay in struct-of-arrays form
+            (:class:`~repro.core.columnar.ColumnarTrain`) end to end:
+            whole segments ride the arcs, compiled operators run as
+            masked column kernels, and materialization back to
+            ``StreamTuple`` lists happens only at barriers (stateful or
+            opaque boxes, fan-in, connection points, shedders, tracing,
+            delivery reads).  Accounting stays bit-identical to the
+            list path — clock/latency chains use strictly sequential
+            ``ufunc.accumulate``.  Effective only with
+            ``batch_execution``; a tracer, an attached shedder, or
+            per-tuple ``push`` simply keep those tuples on the classic
+            list path (same results, no columnar speedup).
     """
 
     def __init__(
@@ -91,6 +113,7 @@ class AuroraEngine:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         fusion: bool = True,
+        columnar: bool = True,
     ):
         network.validate()
         if train_size < 1:
@@ -131,7 +154,11 @@ class AuroraEngine:
         self.steps = 0
         self.tuples_processed = 0
         self.fusion = fusion
-        self.outputs: dict[str, list[StreamTuple]] = {}
+        # Columnar execution rides the batch path (segments are claimed
+        # as batches); tracing stamps per-tuple spans, so traced engines
+        # materialize at ingestion instead.
+        self.columnar = columnar and batch_execution and not self._tracing
+        self.outputs: dict[str, Union[list[StreamTuple], OutputBuffer]] = {}
         self.box_order: list[str] = []
         # Public scheduler-facing indexes (see the scheduler module):
         # queued_counts holds only boxes with queued tuples, so choice
@@ -165,8 +192,12 @@ class AuroraEngine:
         self.topo_position = {b: i for i, b in enumerate(self.box_order)}
         self._reach_cache.clear()
         self._input_reach_cache.clear()
+        # Columnar engines deliver whole segments, so their buffers are
+        # lazily materializing; list-path engines keep plain lists.
+        fresh = OutputBuffer if self.columnar else list
         self.outputs = {
-            name: self.outputs.get(name, []) for name in self.network.outputs
+            name: (self.outputs[name] if name in self.outputs else fresh())
+            for name in self.network.outputs
         }
         self.queued_counts = {}
         for box_id, box in self.network.boxes.items():
@@ -304,8 +335,49 @@ class AuroraEngine:
             self._enqueue(arc, tup)
         return True
 
+    def push_train(self, input_name: str, train: ColumnarTrain) -> int:
+        """Admit a whole columnar train on a named input stream.
+
+        The columnar fast path: the train is enqueued as ONE segment —
+        no per-tuple queue traffic at all — with per-tuple enqueue
+        clocks computed by a running max (bit-identical to ``push()``'s
+        ``clock = max(clock, timestamp)`` chain, since max is exact
+        selection).  Falls back to :meth:`push_many` whenever a barrier
+        applies at ingestion: columnar mode off, a shedder attached
+        (admission is per-tuple), active tracing (span stamps are
+        per-tuple), input fan-out, or a connection point on the arc
+        (history recording is per-tuple).
+        """
+        if input_name not in self.network.inputs:
+            raise KeyError(f"engine network has no input {input_name!r}")
+        n = len(train)
+        if n == 0:
+            return 0
+        arcs = self.network.inputs[input_name]
+        if (
+            not self.columnar
+            or self.shedder is not None
+            or len(arcs) != 1
+            or arcs[0].connection_point is not None
+        ):
+            return self.push_many(input_name, train.to_tuples())
+        arc = arcs[0]
+        clocks = running_max(self.clock, train.timestamps)
+        arc.append_train(train, clocks)
+        self.clock = float(clocks[-1])
+        target = arc.target[0]
+        if target != "out":
+            target = str(target)
+            self.queued_counts[target] = self.queued_counts.get(target, 0) + n
+        self._counter_for(
+            self._m_ingest, "engine.ingest.tuples", "input", input_name
+        ).inc(n)
+        return n
+
     def push_many(self, input_name: str, tuples: Iterable[StreamTuple]) -> int:
         """Admit a batch; returns the number of tuples admitted."""
+        if isinstance(tuples, ColumnarTrain):
+            return self.push_train(input_name, tuples)
         if input_name not in self.network.inputs:
             raise KeyError(f"engine network has no input {input_name!r}")
         arcs = self.network.inputs[input_name]
@@ -480,6 +552,14 @@ class AuroraEngine:
         cost = operator.cost_per_tuple / self.cpu_capacity
         clock = self.clock
         while budget > 0:
+            seg_arc = self._normalize_segments(box)
+            if seg_arc is not None:
+                self.clock = clock
+                took, extra = self._consume_columnar(box, seg_arc, budget)
+                clock = self.clock
+                consumed += extra
+                budget -= took
+                continue
             arc, n = self._claim_run(box, budget)
             if arc is None:
                 break
@@ -586,6 +666,122 @@ class AuroraEngine:
             n = limit
         return best, n
 
+    def _normalize_segments(self, box: Box) -> Arc | None:
+        """Prepare ``box``'s arcs for a claim; the columnar arc, if any.
+
+        Returns the single input arc when it holds only columnar
+        segments (the columnar claim path applies).  At barriers —
+        fan-in (multi-arc claims interleave per-tuple) or a queue mixing
+        plain tuples with segments — segments are expanded in place and
+        None is returned, so the classic claim proceeds with identical
+        per-tuple enqueue clocks and train boundaries.
+        """
+        input_arcs = box.input_arcs
+        if len(input_arcs) == 1:
+            arc = next(iter(input_arcs.values()))
+            if not arc._segments:
+                return None
+            if arc._segments == len(arc.queue):
+                return arc
+            arc.materialize_segments()
+            return None
+        for arc in input_arcs.values():
+            if arc._segments:
+                arc.materialize_segments()
+        return None
+
+    def _dequeue_segments(
+        self, arc: Arc, n: int
+    ) -> tuple[ColumnarTrain, np.ndarray]:
+        """Dequeue exactly ``n`` tuples of columnar segments from ``arc``.
+
+        Splits the last segment at the train budget boundary (the
+        unclaimed tail goes back as the new head), so claim sizes — and
+        therefore step counts and the virtual clock — match the list
+        path exactly.  Returns the combined train and its per-tuple
+        enqueue clocks.
+        """
+        head = arc.pop_segment()
+        count = len(head)
+        if count > n:
+            head, tail = head.split(n)
+            arc.replace_head_segment(tail)
+            return head, head.enqueue_clocks  # type: ignore[return-value]
+        if count == n:
+            return head, head.enqueue_clocks  # type: ignore[return-value]
+        parts = [head]
+        while count < n:
+            seg = arc.pop_segment()
+            if count + len(seg) > n:
+                take, rest = seg.split(n - count)
+                arc.replace_head_segment(rest)
+                parts.append(take)
+                count = n
+            else:
+                parts.append(seg)
+                count += len(seg)
+        train = ColumnarTrain.concat(parts)
+        times = np.concatenate([p.enqueue_clocks for p in parts])
+        return train, times
+
+    def _consume_columnar(
+        self, box: Box, arc: Arc, budget: int
+    ) -> tuple[int, float]:
+        """One columnar claim at a (non-fused) box.
+
+        The accounting twin of one ``_run_train_batched`` iteration:
+        identical claim size, and clock/latency/consumed advanced by
+        strictly sequential ``add.accumulate`` chains — the same float
+        operations in the same order as the per-tuple Python loop.
+        Returns ``(tuples_taken, virtual_time_consumed)``; taking zero
+        means a spill barrier materialized the arc and the caller should
+        re-claim on the list path.
+        """
+        n = min(budget, arc.queued_tuples())
+        spilled = self.storage.spilled_on(arc)
+        if spilled and arc.queued_tuples() - spilled < n:
+            # Spilled reads interleave per-tuple charges into the clock
+            # chain; that exactness lives on the list path.
+            arc.materialize_segments()
+            return 0, 0.0
+        train, times = self._dequeue_segments(arc, n)
+        operator = box.operator
+        cost = operator.cost_per_tuple / self.cpu_capacity
+        # Inlined accumulate_chain/sequential_sum — bit-identical to the
+        # list path's per-tuple ``clock += cost; latency += delta`` loop.
+        chain = np.empty(n + 1, dtype=np.float64)
+        chain[0] = self.clock
+        chain[1:] = cost
+        np.add.accumulate(chain, out=chain)
+        chain = chain[1:]
+        deltas = chain - times
+        np.add.accumulate(deltas, out=deltas)
+        latency = float(deltas[-1])
+        self.clock = float(chain[-1])
+        # The scheduler only needs a positive work signal, not the exact
+        # float chain (no contract compares step() returns across paths).
+        consumed = n * cost
+        box.busy_time += n * cost
+        box.tuples_in += n
+        box.latency_sum += latency
+        box.latency_count += n
+        self.tuples_processed += n
+        port = int(arc.target[1])
+        if operator.supports_columnar:
+            train_emissions = operator.process_columnar(train, port=port)
+            out_count = 0
+            for _p, out_train in train_emissions:
+                out_count += len(out_train)
+            box.tuples_out += out_count
+            self._emit_columnar(box, train_emissions)
+        else:
+            # Operator barrier (stateful or opaque): materialize at the
+            # claim and run the exact-equivalent list batch kernel.
+            emissions = operator.process_batch(train.to_tuples(), port=port)
+            box.tuples_out += len(emissions)
+            self._emit_batch(box, emissions)
+        return n, consumed
+
     def _oldest_input_arc(self, box: Box) -> Arc | None:
         """The input arc whose head tuple was enqueued earliest."""
         best: Arc | None = None
@@ -615,8 +811,140 @@ class AuroraEngine:
         if arc is None or budget <= 0:
             return 0.0
         if self.batch_execution:
+            if arc._segments:
+                if arc._segments == len(arc.queue):
+                    n = min(budget, arc.queued_tuples())
+                    spilled = self.storage.spilled_on(arc)
+                    if not spilled or arc.queued_tuples() - spilled >= n:
+                        return self._run_train_fused_columnar(chain, arc, budget)
+                # Mixed queue or spill barrier: expand and take the
+                # list path (identical clocks and train boundaries).
+                arc.materialize_segments()
             return self._run_train_fused_batched(chain, arc, budget)
         return self._run_train_fused_scalar(chain, arc, budget)
+
+    def _run_train_fused_columnar(
+        self, chain: FusedChain, arc: Arc, budget: int
+    ) -> float:
+        """One columnar train through a superbox: claimed once, threaded
+        through the compiled column kernels, emitted from the tail.
+
+        Per-stage accounting follows ``_run_train_fused_batched`` with
+        the per-tuple Python loops replaced by sequential
+        ``add.accumulate`` chains (bit-identical clock/latency floats).
+        A stage without a columnar kernel materializes the train once
+        and the remaining stages run their list kernels — transparent
+        per-stage fallback.
+        """
+        consumed = 0.0
+        clock = self.clock
+        stages = chain.stages
+        columnar_kernels = chain.columnar_kernels
+        list_kernels = chain.interior_kernels
+        head = stages[0]
+        last = len(stages) - 1
+        n = min(budget, arc.queued_tuples())
+        train, times = self._dequeue_segments(arc, n)
+        self._drop_queued(head.id, n)
+        batch: ColumnarTrain | list[StreamTuple] = train
+        columnar = True
+        processed = 0
+        stage_start = clock
+        # Hot loop: numpy entry points and engine attributes hoisted to
+        # locals (each stage is a handful of array ops; attribute lookup
+        # is a measurable fraction at small train sizes).
+        empty = np.empty
+        acc = np.add.accumulate
+        capacity = self.cpu_capacity
+        box_in = self._m_box_in
+        box_out = self._m_box_out
+        m_emitted = self._m_emitted
+        m_tuples = self._m_tuples
+        hist_observe = self._m_train_hist.observe
+        new_counter = self.metrics.counter
+        for index, box in enumerate(stages):
+            count = len(batch)
+            if count == 0:
+                break
+            cost = box.operator.cost_per_tuple / capacity
+            # Inlined accumulate_chain/sequential_sum (this loop is the
+            # hottest accounting path): the strictly sequential
+            # ``add.accumulate`` chains stay bit-identical to the
+            # per-tuple ``clock += cost`` / ``latency += delta`` loops.
+            chain_arr = empty(count + 1, dtype=np.float64)
+            chain_arr[0] = clock
+            chain_arr[1:] = cost
+            acc(chain_arr, out=chain_arr)
+            chain_arr = chain_arr[1:]
+            if index == 0:
+                deltas = chain_arr - times
+            else:
+                # Interior stages: logically enqueued at the previous
+                # stage's train-end clock (the _emit_batch stamp).
+                deltas = chain_arr - stage_start
+            acc(deltas, out=deltas)
+            latency = float(deltas[-1])
+            clock = float(chain_arr[-1])
+            # step() returns only feed the idle check; the exact float
+            # chain is not part of the accounting contract.
+            consumed += count * cost
+            box.busy_time += count * cost
+            box.tuples_in += count
+            box.latency_sum += latency
+            box.latency_count += count
+            processed += count
+            if index == last:
+                self.clock = clock
+                if columnar and chain.tail_columnar:
+                    train_emissions = box.operator.process_columnar(batch, port=0)
+                    out_count = 0
+                    for _p, out_train in train_emissions:
+                        out_count += len(out_train)
+                    box.tuples_out += out_count
+                    self._emit_columnar(box, train_emissions)
+                else:
+                    if columnar:
+                        batch = batch.to_tuples()
+                    emissions = box.operator.process_batch(batch, port=0)
+                    out_count = len(emissions)
+                    box.tuples_out += out_count
+                    self._emit_batch(box, emissions)
+            else:
+                if columnar:
+                    kernel = columnar_kernels[index]
+                    if kernel is not None:
+                        out_batch: ColumnarTrain | list[StreamTuple] = kernel(batch)
+                    else:
+                        out_batch = list_kernels[index](batch.to_tuples())
+                        columnar = False
+                else:
+                    out_batch = list_kernels[index](batch)
+                out_count = len(out_batch)
+                box.tuples_out += out_count
+                batch = out_batch
+                stage_start = clock
+            # _train_obs inlined with hoisted handles (same update set,
+            # same counters — only the dispatch overhead is gone).
+            box_id = box.id
+            in_c = box_in.get(box_id)
+            if in_c is None:
+                in_c = box_in[box_id] = new_counter(
+                    "engine.box.tuples_in", box=box_id
+                )
+            in_c.inc(count)
+            if out_count:
+                out_c = box_out.get(box_id)
+                if out_c is None:
+                    out_c = box_out[box_id] = new_counter(
+                        "engine.box.tuples_out", box=box_id
+                    )
+                out_c.inc(out_count)
+                m_emitted.inc(out_count)
+            m_tuples.inc(count)
+            hist_observe(count)
+        self.tuples_processed += processed
+        self.clock = clock
+        return consumed
 
     def _run_train_fused_batched(
         self, chain: FusedChain, arc: Arc, budget: int
@@ -893,6 +1221,63 @@ class AuroraEngine:
                         self.queued_counts.get(target, 0) + len(tuples)
                     )
 
+    def _emit_columnar(
+        self, box: Box, emissions: list[tuple[int, ColumnarTrain]]
+    ) -> None:
+        """Route whole per-port sub-trains downstream as segments.
+
+        The columnar twin of :meth:`_emit_batch`: each non-empty
+        sub-train is appended to its arcs as ONE queue entry stamped
+        with the train-end clock.  Connection-point arcs materialize
+        here (history recording, subscribers and choking are per-tuple
+        affairs); delivery to applications stays columnar and lazy.
+        """
+        clock = self.clock
+        output_arcs = box.output_arcs
+        for out_port, train in emissions:
+            n = len(train)
+            if n == 0:
+                continue
+            for arc in output_arcs.get(out_port, []):
+                kind, ref = arc.target
+                if arc.connection_point is not None:
+                    for tup in train.to_tuples():
+                        if kind == "out":
+                            if arc.push(tup):
+                                arc.queue.popleft()
+                                self._deliver(str(ref), tup)
+                        else:
+                            self._enqueue(arc, tup)
+                elif kind == "out":
+                    arc.tuples_transferred += n
+                    self._deliver_train(str(ref), train)
+                else:
+                    # Read-only broadcast: every tuple in the segment is
+                    # stamped with the same train-end clock.
+                    arc.append_train(train, np.broadcast_to(clock, (n,)))
+                    target = str(kind)
+                    self.queued_counts[target] = (
+                        self.queued_counts.get(target, 0) + n
+                    )
+
+    def _deliver_train(self, output_name: str, train: ColumnarTrain) -> None:
+        """Deliver a whole columnar segment to an application output.
+
+        The segment lands in the lazy :class:`OutputBuffer` unmaterialized;
+        QoS latency samples are the vectorized ``clock - timestamp``
+        column (elementwise — the same floats the per-tuple path records).
+        """
+        buffer = self.outputs[output_name]
+        if isinstance(buffer, OutputBuffer):
+            buffer.extend_train(train)
+        else:
+            buffer.extend(train.to_tuples())
+        latencies = (self.clock - train.timestamps).tolist()
+        self.qos_monitor.record_output_batch(output_name, latencies)
+        self._counter_for(
+            self._m_delivered, "engine.delivered.tuples", "stream", output_name
+        ).inc(len(train))
+
     def _deliver(self, output_name: str, tup: StreamTuple) -> None:
         self.outputs[output_name].append(tup)
         self.qos_monitor.record_output(output_name, self.clock - tup.timestamp)
@@ -980,11 +1365,19 @@ class AuroraEngine:
         return self.queued_work() / self.load_window
 
     def oldest_queued_timestamp(self, box_id: str) -> float | None:
-        """Source timestamp of the oldest tuple queued at ``box_id``."""
+        """Source timestamp of the oldest tuple queued at ``box_id``.
+
+        Reads the head of a columnar segment's timestamp column directly
+        — QoS scheduling never forces materialization.
+        """
         oldest: float | None = None
         for arc in self.network.boxes[box_id].input_arcs.values():
             if arc.queue:
-                ts = arc.queue[0].timestamp
+                head = arc.queue[0]
+                if isinstance(head, ColumnarTrain):
+                    ts = float(head.timestamps[0])
+                else:
+                    ts = head.timestamp
                 if oldest is None or ts < oldest:
                     oldest = ts
         return oldest

@@ -42,8 +42,9 @@ already sitting at the superbox input (the head's input arc).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.core.columnar import ColumnarTrain
 from repro.core.operators.base import Emission, Operator
 from repro.core.operators.filter import Filter
 from repro.core.operators.map import Map
@@ -51,6 +52,7 @@ from repro.core.query import Arc, Box, QueryNetwork
 from repro.core.tuples import StreamTuple
 
 Kernel = Callable[[list[StreamTuple]], list[StreamTuple]]
+ColumnarKernel = Callable[[ColumnarTrain], ColumnarTrain]
 
 
 def chainable(box: Box) -> bool:
@@ -96,6 +98,46 @@ def _interior_kernel(operator: Operator) -> Kernel:
     return generic_kernel
 
 
+def _interior_columnar_kernel(operator: Operator) -> Optional[ColumnarKernel]:
+    """A columnar kernel for an interior stage, or None if unsupported.
+
+    Filter and Map with compiled bodies get direct mask/column kernels
+    (no emission boxing at all); other columnar-capable single-output
+    operators (e.g. a one-predicate CaseFilter, whose routing counters
+    must advance) go through their own ``process_columnar``.  A None
+    return makes the fused runner materialize the train before this
+    stage and continue on the list kernels.
+    """
+    if not operator.supports_columnar:
+        return None
+    if type(operator) is Filter and not operator.with_false_port:
+        predicate = operator.predicate
+
+        def filter_kernel(train: ColumnarTrain) -> ColumnarTrain:
+            mask = predicate.mask(train)  # type: ignore[union-attr]
+            if mask.all():
+                return train
+            return train.select(mask)
+
+        return filter_kernel
+    if type(operator) is Map:
+        func = operator.func
+
+        def map_kernel(train: ColumnarTrain) -> ColumnarTrain:
+            return func.evaluate(train)  # type: ignore[union-attr]
+
+        return map_kernel
+    process_columnar = operator.process_columnar
+
+    def generic_kernel(train: ColumnarTrain) -> ColumnarTrain:
+        emissions = process_columnar(train, port=0)
+        if not emissions:
+            return train.slice(0, 0)
+        return emissions[0][1]
+
+    return generic_kernel
+
+
 class FusedChain(Operator):
     """One superbox: a linear run of boxes compiled into a single unit.
 
@@ -121,6 +163,13 @@ class FusedChain(Operator):
         self.interior_kernels = [
             _interior_kernel(b.operator) for b in stages[:-1]
         ]
+        # Columnar overlays: None entries mark the first stage at which
+        # a columnar train must materialize back to a tuple list (the
+        # engine's fused runner then falls through to interior_kernels).
+        self.columnar_kernels: list[Optional[ColumnarKernel]] = [
+            _interior_columnar_kernel(b.operator) for b in stages[:-1]
+        ]
+        self.tail_columnar = stages[-1].operator.supports_columnar
 
     @property
     def head(self) -> Box:

@@ -13,11 +13,15 @@ single-output ones.
 from __future__ import annotations
 
 import copy
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.tuples import StreamTuple
 
+if TYPE_CHECKING:
+    from repro.core.columnar import ColumnarTrain
+
 Emission = tuple[int, StreamTuple]
+TrainEmission = tuple[int, "ColumnarTrain"]
 
 
 class Operator:
@@ -65,6 +69,32 @@ class Operator:
         for tup in tuples:
             extend(process(tup, port=port))
         return emissions
+
+    @property
+    def supports_columnar(self) -> bool:
+        """True when :meth:`process_columnar` can run this operator.
+
+        Requires a *compiled* configuration (declarative predicates and
+        map bodies from :mod:`repro.core.columnar`); opaque lambdas and
+        stateful operators return False and the engine materializes the
+        train at the claim — the operator never sees a ColumnarTrain.
+        """
+        return False
+
+    def process_columnar(
+        self, train: "ColumnarTrain", port: int = 0
+    ) -> list[TrainEmission]:
+        """Consume a whole columnar train; return per-port sub-trains.
+
+        The contract mirrors :meth:`process_batch`: per output port, the
+        emitted sub-train holds exactly the tuples (same values, same
+        metadata, same relative order) that the list path would emit on
+        that port, and counter/state side effects must be identical.
+        Only called when :attr:`supports_columnar` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no columnar fast path"
+        )
 
     def flush(self) -> list[Emission]:
         """Drain windowed state at end-of-stream.  Stateless ops emit nothing."""

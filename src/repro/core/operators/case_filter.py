@@ -11,10 +11,16 @@ splitting and for content-based stream partitioning (Section 5.2).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from repro.core.operators.base import Emission, StatelessOperator
+import numpy as np
+
+from repro.core.columnar import BinOp, ColumnExpr, Const, Field
+from repro.core.operators.base import Emission, StatelessOperator, TrainEmission
 from repro.core.tuples import StreamTuple
+
+if TYPE_CHECKING:
+    from repro.core.columnar import ColumnarTrain
 
 Predicate = Callable[[StreamTuple], bool]
 
@@ -98,6 +104,54 @@ class CaseFilter(StatelessOperator):
         self.dropped += dropped
         return emissions
 
+    @property
+    def supports_columnar(self) -> bool:
+        """Columnar when every predicate is a compiled column expression.
+
+        Compiled routing evaluates *all* predicates on *all* tuples (no
+        first-match short circuit), so the expressions must be total —
+        a predicate that raises on tuples an earlier case would have
+        claimed is an opaque-lambda job.
+        """
+        return all(isinstance(p, ColumnExpr) for p in self.predicates)
+
+    def process_columnar(
+        self, train: "ColumnarTrain", port: int = 0
+    ) -> list[TrainEmission]:
+        """Vectorized first-match routing: one mask per case port.
+
+        Each predicate's mask is restricted to still-unrouted rows, so
+        routing agrees tuple-for-tuple with the scalar first-match loop;
+        the per-port ``routed``/``dropped`` counters advance by the mask
+        populations, leaving totals identical to the list path.
+        """
+        if port != 0:
+            raise ValueError(f"CaseFilter has a single input port, got {port}")
+        n = len(train)
+        unrouted = np.ones(n, dtype=bool)
+        routed = self.routed
+        emissions: list[TrainEmission] = []
+        for index, predicate in enumerate(self.predicates):
+            mask = predicate.mask(train) & unrouted  # type: ignore[union-attr]
+            matched = int(mask.sum())
+            if matched == 0:
+                continue
+            routed[index] += matched
+            emissions.append((index, train if matched == n else train.select(mask)))
+            if matched == int(unrouted.sum()):
+                unrouted &= ~mask
+                break
+            unrouted &= ~mask
+        remaining = int(unrouted.sum())
+        if remaining:
+            rest = train if remaining == n else train.select(unrouted)
+            if self.with_else_port:
+                routed[self.else_port] += remaining
+                emissions.append((self.else_port, rest))
+            else:
+                self.dropped += remaining
+        return emissions
+
     def describe(self) -> str:
         cases = ", ".join(self.predicate_names)
         suffix = ", else" if self.with_else_port else ""
@@ -109,17 +163,13 @@ def value_router(field: str, values: list, with_else_port: bool = True, **kwargs
 
     ``value_router("proto", ["tcp", "udp"])`` gives port 0 = tcp,
     port 1 = udp, port 2 = everything else.
+
+    Predicates are compiled column expressions, so the router takes the
+    vectorized columnar path (one equality mask per case).
     """
-
-    def match(value):
-        def predicate(tup: StreamTuple) -> bool:
-            return tup[field] == value
-
-        predicate.__name__ = f"{field} == {value!r}"
-        return predicate
-
     return CaseFilter(
-        [match(v) for v in values],
+        [BinOp("==", Field(field), Const(v)) for v in values],
         with_else_port=with_else_port,
+        names=[f"{field} == {v!r}" for v in values],
         **kwargs,
     )

@@ -8,8 +8,13 @@ merge network.
 
 from __future__ import annotations
 
-from repro.core.operators.base import Emission, StatelessOperator
+from typing import TYPE_CHECKING
+
+from repro.core.operators.base import Emission, StatelessOperator, TrainEmission
 from repro.core.tuples import StreamTuple
+
+if TYPE_CHECKING:
+    from repro.core.columnar import ColumnarTrain
 
 
 class Union(StatelessOperator):
@@ -31,6 +36,19 @@ class Union(StatelessOperator):
         if not 0 <= port < self.arity:
             raise ValueError(f"Union({self.arity}) has no input port {port}")
         return [(0, t) for t in tuples]
+
+    @property
+    def supports_columnar(self) -> bool:
+        """Union is a pure pass-through; any train representation works."""
+        return True
+
+    def process_columnar(
+        self, train: "ColumnarTrain", port: int = 0
+    ) -> list[TrainEmission]:
+        """Columnar pass-through: forward the whole train untouched."""
+        if not 0 <= port < self.arity:
+            raise ValueError(f"Union({self.arity}) has no input port {port}")
+        return [(0, train)]
 
     def describe(self) -> str:
         return f"Union({self.arity})"

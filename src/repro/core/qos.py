@@ -168,6 +168,16 @@ class QoSMonitor:
         self.latencies.setdefault(output, []).append(latency)
         self.delivered[output] = self.delivered.get(output, 0) + 1
 
+    def record_output_batch(self, output: str, latencies: list[float]) -> None:
+        """Record delivery of a whole train of output tuples at once.
+
+        Equivalent to ``record_output`` per sample (same list contents,
+        same counts); the columnar delivery path uses this so per-tuple
+        bookkeeping stays out of the hot loop.
+        """
+        self.latencies.setdefault(output, []).extend(latencies)
+        self.delivered[output] = self.delivered.get(output, 0) + len(latencies)
+
     def record_shed(self, output: str, count: int = 1) -> None:
         """Record that ``count`` tuples destined for ``output`` were shed."""
         self.shed[output] = self.shed.get(output, 0) + count

@@ -12,10 +12,16 @@ the network is manipulated, and flow resumes).
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Union
 
 from repro.core.operators.base import Operator
 from repro.core.tuples import StreamTuple
+
+if TYPE_CHECKING:
+    from repro.core.columnar import ColumnarTrain
+    import numpy as np
+
+QueueEntry = Union[StreamTuple, "ColumnarTrain"]
 
 
 class QueryError(ValueError):
@@ -95,11 +101,20 @@ class Arc:
         self.source = source
         self.target = target
         self.connection_point = connection_point
-        self.queue: deque[StreamTuple] = deque()
+        # Entries are single StreamTuples or whole ColumnarTrain
+        # segments (columnar engines enqueue trains without unpacking).
+        self.queue: deque[QueueEntry] = deque()
         # Enqueue clocks, maintained by the scheduled engine (and only by
         # it) in lockstep with ``queue``; used for per-box latency stats.
+        # A segment entry contributes ONE entry here (its head clock);
+        # per-tuple clocks ride on the segment's ``enqueue_clocks``.
         self.queue_times: deque[float] = deque()
         self.tuples_transferred = 0
+        # Segment bookkeeping so tuple counts stay O(1) without
+        # materializing: len(queue) counts entries, these two close the
+        # gap to tuples.
+        self._segments = 0
+        self._segment_extra = 0
 
     @property
     def is_input(self) -> bool:
@@ -121,8 +136,90 @@ class Arc:
         self.tuples_transferred += 1
         return True
 
+    # -- columnar segments (repro.core.columnar) -------------------------
+
+    def queued_tuples(self) -> int:
+        """Tuples waiting on this arc, counting segment contents."""
+        return len(self.queue) + self._segment_extra
+
+    @property
+    def has_segments(self) -> bool:
+        return self._segments > 0
+
+    def append_train(self, train: "ColumnarTrain", clocks: "np.ndarray") -> None:
+        """Enqueue a whole columnar segment with per-tuple enqueue clocks.
+
+        Only the columnar engine calls this; connection-point arcs never
+        carry segments (the engine materializes before CP recording).
+        """
+        if train.enqueue_clocks is not None:
+            # Already stamped: the object is queued elsewhere (fan-out)
+            # or passed through an operator unchanged.  Clocks are
+            # per-queue-entry state — stamp a shallow twin rather than
+            # clobbering the entry another arc still holds.
+            train = train.requeue_view()
+        train.enqueue_clocks = clocks
+        self.queue.append(train)
+        self.queue_times.append(float(clocks[0]))
+        n = len(train)
+        self._segments += 1
+        self._segment_extra += n - 1
+        self.tuples_transferred += n
+
+    def pop_segment(self) -> "ColumnarTrain":
+        """Dequeue the head entry, which must be a segment."""
+        train = self.queue.popleft()
+        self.queue_times.popleft()
+        self._segments -= 1
+        self._segment_extra -= len(train) - 1  # type: ignore[arg-type]
+        return train  # type: ignore[return-value]
+
+    def replace_head_segment(self, train: "ColumnarTrain") -> None:
+        """Put back the unclaimed tail of a partially consumed segment."""
+        self.queue.appendleft(train)
+        clocks = train.enqueue_clocks
+        self.queue_times.appendleft(
+            float(clocks[0]) if clocks is not None and len(clocks) else 0.0
+        )
+        self._segments += 1
+        self._segment_extra += len(train) - 1
+
+    def materialize_segments(self) -> None:
+        """Expand queued segments into individual tuples, in place.
+
+        Called at mixed-representation barriers (plain tuples and
+        segments interleaved on one arc): the claim then proceeds on the
+        classic list path with identical per-tuple enqueue clocks.
+        """
+        if not self._segments:
+            return
+        from repro.core.columnar import ColumnarTrain
+
+        new_queue: deque[QueueEntry] = deque()
+        new_times: deque[float] = deque()
+        times = self.queue_times
+        n_times = len(times)
+        index = 0
+        for entry in self.queue:
+            if isinstance(entry, ColumnarTrain):
+                if index < n_times:
+                    index += 1  # the segment's single head-clock slot
+                new_queue.extend(entry.to_tuples())
+                clocks = entry.enqueue_clocks
+                if clocks is not None:
+                    new_times.extend(clocks.tolist())
+            else:
+                new_queue.append(entry)
+                if index < n_times:
+                    new_times.append(times[index])
+                    index += 1
+        self.queue = new_queue
+        self.queue_times = new_times
+        self._segments = 0
+        self._segment_extra = 0
+
     def __repr__(self) -> str:
-        return f"Arc({self.id}: {self.source} -> {self.target}, queued={len(self.queue)})"
+        return f"Arc({self.id}: {self.source} -> {self.target}, queued={self.queued_tuples()})"
 
 
 class Box:
@@ -159,8 +256,8 @@ class Box:
         return self.tuples_out / self.tuples_in
 
     def queued(self) -> int:
-        """Total tuples waiting on the box's input arcs."""
-        return sum(len(arc.queue) for arc in self.input_arcs.values())
+        """Total tuples waiting on the box's input arcs (segment-aware)."""
+        return sum(arc.queued_tuples() for arc in self.input_arcs.values())
 
     def __repr__(self) -> str:
         return f"Box({self.id}: {self.operator.describe()})"
@@ -417,8 +514,8 @@ class QueryNetwork:
                 yield arc.id, arc.connection_point
 
     def total_queued(self) -> int:
-        """Total tuples waiting on all arcs (load signal)."""
-        return sum(len(arc.queue) for arc in self.arcs.values())
+        """Total tuples waiting on all arcs (load signal, segment-aware)."""
+        return sum(arc.queued_tuples() for arc in self.arcs.values())
 
     def __repr__(self) -> str:
         return (

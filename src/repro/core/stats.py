@@ -114,7 +114,7 @@ def publish_network_stats(network: QueryNetwork, registry: MetricsRegistry) -> N
         registry.gauge("box.selectivity", box=box_id).set(box.selectivity)
         registry.gauge("box.average_time", box=box_id).set(box.average_time)
     for arc_id, arc in network.arcs.items():
-        registry.gauge("arc.queue_depth", arc=arc_id).set(len(arc.queue))
+        registry.gauge("arc.queue_depth", arc=arc_id).set(arc.queued_tuples())
     registry.gauge("network.queued_tuples").set(network.total_queued())
 
 

@@ -70,8 +70,13 @@ class StorageManager:
         Returns the I/O time charged by this call (the engine adds it
         to its virtual clock).
         """
-        charged = 0.0
         overflow = self.total_in_memory(network) - self.memory_budget
+        if overflow <= 0 and not self._spilled:
+            # Nothing spilled and nothing to spill: skip the victim walk
+            # and the redundant gauge write (this is every step of an
+            # uncongested run).
+            return 0.0
+        charged = 0.0
         if overflow > 0:
             charged += self._spill(network, overflow)
         else:
@@ -85,7 +90,7 @@ class StorageManager:
         # in-memory queue length descending.
         def sort_key(arc: Arc) -> tuple[int, int]:
             is_cp = 0 if arc.connection_point is not None else 1
-            in_memory = len(arc.queue) - self.spilled_on(arc)
+            in_memory = arc.queued_tuples() - self.spilled_on(arc)
             return (is_cp, -in_memory)
 
         return sorted(network.arcs.values(), key=sort_key)
@@ -95,7 +100,7 @@ class StorageManager:
         for arc in self._victim_order(network):
             if amount <= 0:
                 break
-            in_memory = len(arc.queue) - self.spilled_on(arc)
+            in_memory = arc.queued_tuples() - self.spilled_on(arc)
             take = min(amount, in_memory)
             if take <= 0:
                 continue
@@ -140,7 +145,7 @@ class StorageManager:
         # Spilled tuples are the queue's tail: pops start hitting disk
         # once the in-memory prefix (len - spilled) is exhausted, and
         # every pop after that is a read (both lengths shrink together).
-        first_read = max(0, len(arc.queue) - spilled)
+        first_read = max(0, arc.queued_tuples() - spilled)
         if first_read >= count:
             return 0.0, count
         reads = count - first_read
@@ -164,7 +169,7 @@ class StorageManager:
         returned for the engine to charge.
         """
         spilled = self.spilled_on(arc)
-        if spilled and len(arc.queue) <= spilled:
+        if spilled and arc.queued_tuples() <= spilled:
             self._spilled[arc.id] = spilled - 1
             if self._spilled[arc.id] == 0:
                 del self._spilled[arc.id]

@@ -109,6 +109,29 @@ class StreamTuple:
         self.origin = origin
         self.trace = trace
 
+    @classmethod
+    def from_parts(
+        cls,
+        values: dict[str, Any],
+        timestamp: float,
+        seq: int | None,
+        origin: str | None,
+        trace: Any,
+    ) -> "StreamTuple":
+        """Internal fast constructor: takes ownership of ``values``.
+
+        Skips the defensive ``dict(values)`` copy in ``__init__``; used
+        by bulk materialization (:mod:`repro.core.columnar`) where the
+        dict is freshly built and never shared.
+        """
+        tup = cls.__new__(cls)
+        tup.values = values
+        tup.timestamp = timestamp
+        tup.seq = seq
+        tup.origin = origin
+        tup.trace = trace
+        return tup
+
     def __getitem__(self, field: str) -> Any:
         return self.values[field]
 

@@ -56,8 +56,8 @@ def to_dot(network: QueryNetwork, placement: dict[str, str] | None = None) -> st
         if arc.connection_point is not None:
             attrs.append('label="CP"')
             attrs.append("style=bold")
-        if len(arc.queue) > 0:
-            attrs.append(f'taillabel="{len(arc.queue)}"')
+        if arc.queued_tuples() > 0:
+            attrs.append(f'taillabel="{arc.queued_tuples()}"')
         suffix = f" [{', '.join(attrs)}]" if attrs else ""
         lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}"{suffix};')
     lines.append("}")

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.columnar import ColumnarTrain
 from repro.distributed.policy import (
     Thresholds,
     choose_offload_candidate,
@@ -178,7 +179,10 @@ class LoadShareDaemon:
         box = self.system.network.boxes[box_id]
         for arc in box.input_arcs.values():
             if arc.queue:
-                return tuple(sorted(arc.queue[0].values))
+                head = arc.queue[0]
+                if isinstance(head, ColumnarTrain):
+                    return tuple(sorted(head.fields))
+                return tuple(sorted(head.values))
         return ()
 
     def _least_loaded_neighbor(self) -> str | None:

@@ -29,7 +29,7 @@ number of streams.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Callable, Sized
 
 from repro.obs.registry import Counter, MetricsRegistry
 
@@ -97,6 +97,30 @@ class TupleTrainMessage(StreamMessage):
             enqueued_at=enqueued_at,
         )
         self.tuple_count = tuple_count
+
+    @classmethod
+    def from_train(
+        cls,
+        stream: str,
+        train: "Sized",
+        tuple_bytes: int,
+        header_bytes: int = 24,
+        enqueued_at: float = 0.0,
+    ) -> "TupleTrainMessage":
+        """Frame a train given in either representation.
+
+        ``train`` may be a ``list[StreamTuple]`` or a columnar
+        :class:`~repro.core.columnar.ColumnarTrain` — the wire frame only
+        needs the tuple count, so a columnar train is framed without
+        materializing its rows.
+        """
+        return cls(
+            stream,
+            tuple_count=len(train),
+            tuple_bytes=tuple_bytes,
+            header_bytes=header_bytes,
+            enqueued_at=enqueued_at,
+        )
 
     def __repr__(self) -> str:
         return f"TupleTrainMessage({self.stream}, {self.tuple_count} tuples, {self.size}B)"

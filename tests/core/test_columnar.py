@@ -1,0 +1,379 @@
+"""Unit tests for columnar tuple trains (repro.core.columnar).
+
+The property suite (test_fusion_property.py) establishes the global
+bit-exactness contract; this file pins the mechanisms behind it:
+encode/decode fidelity, dtype fallback, exact vectorized accounting
+folds, queue-entry clock ownership, lazy output buffers, every
+ingestion/claim barrier, and the wire framing helper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import (
+    ColumnarTrain,
+    OutputBuffer,
+    accumulate_chain,
+    col,
+    have_pyarrow,
+    running_max,
+    sequential_sum,
+)
+from repro.core.engine import AuroraEngine
+from repro.core.operators.case_filter import CaseFilter
+from repro.core.operators.filter import Filter
+from repro.core.operators.map import Map, columnar_map
+from repro.core.operators.tumble import Tumble
+from repro.core.operators.union import Union
+from repro.core.query import QueryNetwork
+from repro.core.shedder import LoadShedder
+from repro.core.tuples import StreamTuple, make_stream
+from repro.network.transport import TupleTrainMessage, train_frame_size
+from repro.obs.export import dumps, snapshot
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def rows(n, start=0):
+    return [{"A": start + i, "B": (start + i) % 7} for i in range(n)]
+
+
+def tuples_of(stream):
+    return [(t.values, t.timestamp, t.seq, t.origin) for t in stream]
+
+
+# -- encode / decode ----------------------------------------------------------
+
+
+def test_roundtrip_preserves_values_and_metadata():
+    stream = [
+        StreamTuple({"A": i, "B": i * 0.5}, timestamp=0.1 * i, seq=i + 7,
+                    origin="node-1")
+        for i in range(9)
+    ]
+    train = ColumnarTrain.from_tuples(stream)
+    assert train is not None
+    assert len(train) == 9
+    assert train.fields == ("A", "B")
+    assert train.columns["A"].dtype.kind == "i"
+    assert tuples_of(train.to_tuples()) == tuples_of(stream)
+
+
+def test_ragged_trains_are_not_encodable():
+    stream = make_stream([{"A": 1}, {"A": 2, "B": 3}])
+    assert ColumnarTrain.from_tuples(stream) is None
+    assert ColumnarTrain.from_tuples([]) is None
+
+
+def test_object_dtype_fallback_keeps_python_semantics():
+    # Strings, Nones, mixed types and ints beyond int64 all take the
+    # object-column path, where NumPy applies the *Python* operators
+    # elementwise.
+    stream = make_stream([
+        {"A": 1, "tag": "x"},
+        {"A": 2 ** 70, "tag": None},
+        {"A": -3, "tag": "y"},
+    ])
+    train = ColumnarTrain.from_tuples(stream)
+    assert train.columns["A"].dtype == object
+    assert train.columns["tag"].dtype == object
+    assert train.to_tuples()[1].values["A"] == 2 ** 70
+    mask = (col("A") % 2 == 0).mask(train)
+    assert list(mask) == [False, True, False]
+    out = columnar_map({"A": col("A") + 1, "tag": col("tag")}).func.evaluate(train)
+    assert [t.values["A"] for t in out.to_tuples()] == [2, 2 ** 70 + 1, -2]
+
+
+def test_split_and_concat_preserve_rows():
+    train = ColumnarTrain.from_tuples(make_stream(rows(10), spacing=0.5))
+    head, tail = train.split(3)
+    assert (len(head), len(tail)) == (3, 7)
+    rejoined = ColumnarTrain.concat([head, tail])
+    assert tuples_of(rejoined.to_tuples()) == tuples_of(train.to_tuples())
+
+
+# -- exact vectorized accounting ---------------------------------------------
+
+
+def awkward_floats():
+    # Values chosen to expose any non-sequential summation: spread
+    # magnitudes mean (a + b) + c != a + (b + c) for most orderings.
+    rng = np.random.default_rng(42)
+    return rng.uniform(0.0001, 0.003, size=257) * 10.0 ** rng.integers(
+        -6, 6, size=257
+    )
+
+
+def test_accumulate_chain_matches_python_loop_bitwise():
+    incs = awkward_floats()
+    x = 0.7300000000000003
+    expected = []
+    for inc in incs:
+        x += inc
+        expected.append(x)
+    chain = accumulate_chain(0.7300000000000003, incs)
+    assert chain.tolist() == expected  # == on floats is bit comparison
+
+
+def test_sequential_sum_matches_python_loop_bitwise():
+    values = awkward_floats()
+    total = 0.0
+    for v in values:
+        total += v
+    assert sequential_sum(values) == total
+    assert sequential_sum(np.array([])) == 0.0
+
+
+def test_running_max_matches_python_loop():
+    values = awkward_floats()
+    x = 0.001
+    expected = []
+    for v in values:
+        x = max(x, v)
+        expected.append(x)
+    assert running_max(0.001, values).tolist() == expected
+
+
+# -- queue-entry clock ownership ----------------------------------------------
+
+
+def test_requeue_stamps_a_twin_not_the_shared_object():
+    # One train object queued on two arcs (fan-out), then restamped:
+    # the first arc's entry must keep its original clocks.
+    net = QueryNetwork()
+    net.add_box("a", Filter(col("A") % 1 == 0))
+    net.add_box("b", Filter(col("A") % 1 == 0))
+    net.connect("in:s", "a")
+    net.connect("in:s2", "b")
+    net.validate()
+    arc_a = next(iter(net.boxes["a"].input_arcs.values()))
+    arc_b = next(iter(net.boxes["b"].input_arcs.values()))
+    train = ColumnarTrain.from_tuples(make_stream(rows(4)))
+    arc_a.append_train(train, np.full(4, 1.0))
+    arc_b.append_train(train, np.full(4, 9.0))
+    entry_a = arc_a.queue[0]
+    entry_b = arc_b.queue[0]
+    assert entry_a.enqueue_clocks.tolist() == [1.0] * 4
+    assert entry_b.enqueue_clocks.tolist() == [9.0] * 4
+    assert entry_b.columns["A"] is entry_a.columns["A"]  # data still shared
+
+
+# -- lazy output buffers ------------------------------------------------------
+
+
+def test_output_buffer_list_protocol():
+    buffer = OutputBuffer()
+    train = ColumnarTrain.from_tuples(make_stream(rows(5), spacing=0.1))
+    buffer.extend_train(train)
+    assert len(buffer) == 5  # len() must not materialize
+    assert buffer._pending
+    assert buffer[2].values == {"A": 2, "B": 2}
+    assert not buffer._pending  # reads materialize
+    assert [t.values["A"] for t in buffer] == [0, 1, 2, 3, 4]
+    assert buffer == train.to_tuples()
+
+
+# -- ingestion and claim barriers ---------------------------------------------
+
+
+def pipeline_net():
+    net = QueryNetwork()
+    net.add_box("f", Filter(col("A") % 2 == 0, cost_per_tuple=0.001))
+    net.add_box("m", columnar_map({"A": col("A") + 10}, cost_per_tuple=0.001))
+    net.connect("in:s", "f")
+    net.connect("f", "m")
+    net.connect("m", "out:o")
+    net.validate()
+    return net
+
+
+def run_network(make_net, push, *, engine_kwargs=None, n=24, train=8):
+    """Push `n` tuples in trains of `train` and return comparable state."""
+    net = make_net()
+    registry = MetricsRegistry()
+    engine = AuroraEngine(
+        net, train_size=train, batch_execution=True,
+        scheduling_overhead=0.001, metrics=registry,
+        **(engine_kwargs() if engine_kwargs else {}),
+    )
+    stream = make_stream(rows(n), spacing=0.01)
+    for i in range(0, n, train):
+        chunk = stream[i:i + train]
+        if push == "train":
+            engine.push_train("s", ColumnarTrain.from_tuples(chunk))
+        else:
+            engine.push_many("s", chunk)
+    engine.run_until_idle()
+    engine.flush()
+    return {
+        "outputs": {
+            name: tuples_of(tuples) for name, tuples in engine.outputs.items()
+        },
+        "clock": engine.clock,
+        "steps": engine.steps,
+        "snapshot": dumps(snapshot(registry)),
+    }
+
+
+def assert_push_equivalent(make_net, **kwargs):
+    assert run_network(make_net, "train", **kwargs) == run_network(
+        make_net, "many", **kwargs
+    )
+
+
+def test_push_train_equivalent_to_push_many():
+    assert_push_equivalent(pipeline_net)
+
+
+def test_stateful_operator_materializes_at_claim():
+    def net():
+        network = QueryNetwork()
+        network.add_box("w", Tumble("sum", groupby=("B",), value_attr="A",
+                                    result_attr="A", mode="count",
+                                    window_size=4))
+        network.connect("in:s", "w")
+        network.connect("w", "out:o")
+        network.validate()
+        return network
+
+    assert_push_equivalent(net)
+
+
+def test_fan_in_materializes_at_claim():
+    def net():
+        network = QueryNetwork()
+        network.add_box("f", Filter(col("A") % 2 == 0))
+        network.add_box("u", Union(2))
+        network.connect("in:s", "f")
+        network.connect("f", (("u"), 0))
+        network.connect("in:s", ("u", 1))
+        network.validate()
+        return network
+
+    # Input fan-out (s feeds two arcs) forces push_train's own fallback,
+    # and the Union's two arcs forbid columnar claims: both barriers at
+    # once, outputs still identical.
+    assert_push_equivalent(net)
+
+
+def test_connection_point_is_an_ingestion_barrier():
+    def net():
+        network = QueryNetwork()
+        network.add_box("f", Filter(col("A") % 2 == 0))
+        network.connect("in:s", "f", connection_point=True)
+        network.connect("f", "out:o")
+        network.validate()
+        return network
+
+    result = run_network(net, "train")
+    assert result == run_network(net, "many")
+    # And the connection point actually recorded history per tuple.
+    fresh = net()
+    engine = AuroraEngine(fresh, batch_execution=True)
+    engine.push_train("s", ColumnarTrain.from_tuples(make_stream(rows(6))))
+    arc = next(iter(fresh.boxes["f"].input_arcs.values()))
+    assert len(arc.connection_point.history) == 6
+
+
+def test_shedder_is_an_ingestion_barrier():
+    assert_push_equivalent(
+        pipeline_net,
+        engine_kwargs=lambda: {"shedder": LoadShedder(target_load=0.5, seed=3)},
+    )
+
+
+def test_tracing_disables_columnar_mode():
+    def kwargs():
+        return {"tracer": Tracer(sample_rate=1.0)}
+
+    assert_push_equivalent(pipeline_net, engine_kwargs=kwargs)
+    net = pipeline_net()
+    engine = AuroraEngine(net, batch_execution=True, tracer=Tracer(sample_rate=1.0))
+    assert engine.columnar is False
+
+
+def test_mixed_queue_materializes_segments():
+    net = pipeline_net()
+    engine = AuroraEngine(net, train_size=64, batch_execution=True,
+                          scheduling_overhead=0.001)
+    stream = make_stream(rows(12), spacing=0.01)
+    engine.push_many("s", stream[:4])
+    engine.push_train("s", ColumnarTrain.from_tuples(stream[4:8]))
+    engine.push_many("s", stream[8:])
+    arc = next(iter(net.boxes["f"].input_arcs.values()))
+    assert arc.has_segments and len(arc.queue) < 12  # genuinely mixed
+    assert arc.queued_tuples() == 12
+    engine.run_until_idle()
+    engine.flush()
+    reference = run_network(pipeline_net, "many", n=12, train=64)
+    assert {
+        name: tuples_of(tuples) for name, tuples in engine.outputs.items()
+    } == reference["outputs"]
+    assert engine.clock == reference["clock"]
+
+
+def test_opaque_lambda_falls_back_transparently():
+    def net():
+        network = QueryNetwork()
+        network.add_box("f", Filter(lambda t: t["A"] % 2 == 0))
+        network.add_box("m", Map(lambda v: {"A": v["A"] + 10, "B": v["B"]}))
+        network.connect("in:s", "f")
+        network.connect("f", "m")
+        network.connect("m", "out:o")
+        network.validate()
+        return network
+
+    assert not net().boxes["f"].operator.supports_columnar
+    assert_push_equivalent(net)
+
+
+def test_case_filter_columnar_counters_match_list_path():
+    def run(push):
+        network = QueryNetwork()
+        case = CaseFilter([col("A") % 3 == 0, col("A") % 3 == 1])
+        network.add_box("c", case)
+        network.connect("in:s", "c")
+        network.connect(("c", 0), "out:zero")
+        network.connect(("c", 1), "out:one")
+        network.validate()
+        engine = AuroraEngine(network, train_size=8, batch_execution=True)
+        stream = make_stream(rows(20), spacing=0.01)
+        if push == "train":
+            engine.push_train("s", ColumnarTrain.from_tuples(stream))
+        else:
+            engine.push_many("s", stream)
+        engine.run_until_idle()
+        return case.routed, case.dropped, {
+            name: tuples_of(tuples) for name, tuples in engine.outputs.items()
+        }
+
+    assert run("train") == run("many")
+    routed, dropped, _ = run("train")
+    assert sum(routed) + dropped == 20 and dropped > 0
+
+
+# -- optional interchange dependency ------------------------------------------
+
+
+def test_pyarrow_guard():
+    # The container has no pyarrow; the guard must answer without
+    # raising, and the interchange helpers must refuse cleanly.
+    assert have_pyarrow() in (True, False)
+    if not have_pyarrow():
+        train = ColumnarTrain.from_tuples(make_stream(rows(3)))
+        with pytest.raises(RuntimeError):
+            train.to_arrow()
+
+
+# -- wire framing -------------------------------------------------------------
+
+
+def test_tuple_train_message_from_columnar_train():
+    train = ColumnarTrain.from_tuples(make_stream(rows(16)))
+    message = TupleTrainMessage.from_train("s1", train, tuple_bytes=48)
+    assert message.tuple_count == 16
+    assert message.size == train_frame_size(16, 48, 24)
+    materialized = TupleTrainMessage.from_train(
+        "s1", train.to_tuples(), tuple_bytes=48
+    )
+    assert materialized.size == message.size

@@ -10,14 +10,23 @@ Across execution modes the repo's existing guarantee holds unchanged:
 same outputs, same clock, same snapshots (per-box latency stamping
 granularity legitimately differs between scalar and batched trains, so
 box latency_sum is only compared within a mode).
+
+The generator mixes opaque lambdas with compiled column expressions
+(roughly half and half), and each seed additionally runs two columnar
+configurations — the same workload admitted as
+:class:`~repro.core.columnar.ColumnarTrain` segments via
+``push_train`` — which must be bit-identical to their list-pushed
+batched twins on *every* axis, per-box stats and snapshot included:
+the struct-of-arrays representation is an encoding, not a semantic.
 """
 
 import random
 
+from repro.core.columnar import ColumnarTrain, col
 from repro.core.engine import AuroraEngine
 from repro.core.operators.case_filter import CaseFilter
 from repro.core.operators.filter import Filter
-from repro.core.operators.map import Map
+from repro.core.operators.map import Map, columnar_map
 from repro.core.operators.tumble import Tumble
 from repro.core.operators.union import Union
 from repro.core.query import QueryNetwork
@@ -40,15 +49,24 @@ def random_network(rng):
     def fusable_op():
         kind = rng.randrange(3)
         cost = rng.choice([0.001, 0.002, 0.003])
+        compiled = rng.random() < 0.5
         if kind == 0:
             m = rng.choice([2, 3, 5])
+            if compiled:
+                return Filter(col("A") % m != 0, cost_per_tuple=cost)
             return Filter(lambda t, m=m: t["A"] % m != 0, cost_per_tuple=cost)
         if kind == 1:
             d = rng.randint(1, 3)
+            if compiled:
+                return columnar_map(
+                    {"G": col("G"), "A": col("A") + d}, cost_per_tuple=cost
+                )
             return Map(
                 lambda v, d=d: {"G": v["G"], "A": v["A"] + d}, cost_per_tuple=cost
             )
         m = rng.choice([2, 3])
+        if compiled:
+            return CaseFilter([col("A") % m == 0], cost_per_tuple=cost)
         return CaseFilter([lambda t, m=m: t["A"] % m == 0], cost_per_tuple=cost)
 
     def extend(prev, length):
@@ -90,9 +108,14 @@ def random_network(rng):
         if rng.random() < 0.3:
             # Multi-output tail: a 2-way CaseFilter feeding two sinks.
             case_id = f"b{next(counter)}"
+            tail_pred = (
+                col("A") % 2 == 0
+                if rng.random() < 0.5
+                else (lambda t: t["A"] % 2 == 0)
+            )
             net.add_box(
                 case_id,
-                CaseFilter([lambda t: t["A"] % 2 == 0], with_else_port=True),
+                CaseFilter([tail_pred], with_else_port=True),
             )
             net.connect(terminal, case_id)
             net.connect((case_id, 0), f"out:o{i}_even")
@@ -103,7 +126,7 @@ def random_network(rng):
     return net
 
 
-def run_config(seed, batch_execution, fusion):
+def run_config(seed, batch_execution, fusion, columnar_push=False):
     rng = random.Random(seed)
     net = random_network(rng)
     registry = MetricsRegistry()
@@ -126,7 +149,15 @@ def run_config(seed, batch_execution, fusion):
                 {"G": i % 3, "A": i * (idx + 1) + chunk}
                 for i in range(n_tuples // 3)
             ]
-            engine.push_many(name, make_stream(rows, start_time=chunk * 1.0, spacing=0.002))
+            stream = make_stream(rows, start_time=chunk * 1.0, spacing=0.002)
+            if columnar_push:
+                # The columnar axis: the same tuples arrive as one
+                # struct-of-arrays segment per chunk (push_train falls
+                # back by itself at ingestion barriers, e.g. traced
+                # engines or fanned-out inputs).
+                engine.push_train(name, ColumnarTrain.from_tuples(stream))
+            else:
+                engine.push_many(name, stream)
         engine.run_until_idle()
     engine.flush()
     return {
@@ -178,6 +209,22 @@ def test_fusion_is_invisible_across_random_networks():
         assert scalar["clock"] == batch["clock"], seed
         assert scalar["steps"] == batch["steps"], seed
         assert scalar["snapshot"] == batch["snapshot"], seed
+        # The columnar axis: ColumnarTrain segments pushed via
+        # push_train must be bit-identical to the list-pushed batched
+        # twin on EVERY axis — including per-box stats and the obs
+        # snapshot, which are only latency-granularity-exempt across
+        # the scalar/batch divide, not across representations.
+        for fused in (False, True):
+            columnar = run_config(seed, True, fused, columnar_push=True)
+            twin = results[(True, fused)]
+            label = ("columnar", "fused" if fused else "unfused", seed)
+            assert columnar["outputs"] == twin["outputs"], label
+            assert columnar["clock"] == twin["clock"], label
+            assert columnar["steps"] == twin["steps"], label
+            assert columnar["tuples_processed"] == twin["tuples_processed"], label
+            assert columnar["stats"] == twin["stats"], label
+            assert columnar["snapshot"] == twin["snapshot"], label
+            assert columnar["fused_runs"] == twin["fused_runs"], label
         if results[(True, True)]["fused_runs"]:
             seeds_with_fusion += 1
     # The generator must actually exercise fusion, not vacuously pass.
