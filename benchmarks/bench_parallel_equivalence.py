@@ -1,0 +1,105 @@
+"""Dual-backend equivalence suite: the parallel-equivalence CI gate.
+
+Runs every oracle scenario through both execution backends — the
+deterministic virtual-time simulator and the real multiprocessing
+plane (``repro.parallel``) — and fails unless each one delivers the
+same per-stream multiset of tuples with reconciling per-box
+tuples_in/out counters.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_equivalence.py \
+        [--workers N] [--scale S] [--seed N] [--scenarios a,b,...] \
+        [--log-dir DIR] [--out PATH]
+
+Exit status is non-zero on any mismatch.  ``--log-dir`` makes every
+worker process append a per-worker trace log there (CI uploads the
+directory as an artifact when the gate fails).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.parallel import ORACLE_SCENARIOS, run_dual
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="parallel-backend worker process count")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="scenario load/population scale")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenarios", default=",".join(ORACLE_SCENARIOS),
+                        help="comma-separated scenario names")
+    parser.add_argument("--log-dir", default=None,
+                        help="directory for per-worker trace logs")
+    parser.add_argument("--out", default=None,
+                        help="write a JSON report here")
+    args = parser.parse_args(argv)
+
+    names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    if args.workers < 2:
+        print("WARN: the equivalence gate is meant to run with >= 2 "
+              "workers (got --workers "
+              f"{args.workers})", file=sys.stderr)
+
+    rows = []
+    all_ok = True
+    print(f"PARALLEL EQUIVALENCE: {len(names)} scenarios, "
+          f"{args.workers} workers, scale {args.scale}, seed {args.seed}")
+    for name in names:
+        result = run_dual(
+            name,
+            scale=args.scale,
+            seed=args.seed,
+            n_workers=args.workers,
+            log_dir=args.log_dir,
+        )
+        print(result.summary())
+        all_ok = all_ok and result.ok
+        rows.append(
+            {
+                "scenario": name,
+                "ok": result.ok,
+                "outputs_match": result.outputs_match,
+                "counters_match": result.counters_match,
+                "mismatches": result.mismatches,
+                "delivered": sum(
+                    len(v) for v in result.reference_outputs.values()
+                ),
+                "parallel_wall_clock_s": round(result.parallel_wall_clock, 4),
+                "n_workers": result.n_workers,
+            }
+        )
+
+    report = {
+        "suite": "bench_parallel_equivalence",
+        "config": {
+            "workers": args.workers,
+            "scale": args.scale,
+            "seed": args.seed,
+            "python": sys.version.split()[0],
+        },
+        "results": rows,
+        "all_ok": all_ok,
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    if not all_ok:
+        print("FAIL: parallel backend diverged from the simulator oracle",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(names)} scenarios match across backends")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,11 @@ Topologies:
   longest-queue scheduler (exercises the sparse queued-count index).
 * ``transport`` — multiplexed transport shipping one train frame per
   batch vs one message per tuple.
+* ``parallel_scale`` — wall-clock throughput of the real
+  multiprocessing backend (``repro.parallel``) at 1 vs 2 workers on a
+  latency-bound two-stage pipeline.  Recorded as *informational*: the
+  speedup is written to BENCH_PERF.json but carries no floor gate yet
+  (outputs still must match).
 
 Run standalone to emit ``BENCH_PERF.json``::
 
@@ -510,6 +515,54 @@ def measure_transport(n_tuples: int, train_size: int, repeats: int,
     }
 
 
+# -- parallel backend scaling (informational) ---------------------------------
+
+
+def measure_parallel_scale(n_tuples: int, train_size: int, repeats: int):
+    """Wall-clock scaling of the multiprocessing backend: 1 vs 2 workers.
+
+    The stages sleep per tuple (external-latency-bound work), so the
+    pipeline overlap across processes shows up even on a single-core
+    host.  Startup/handshake is excluded — the timed region is
+    push..drain, the steady-state cost a long-running deployment pays.
+    """
+    from repro.core.tuples import StreamTuple
+    from repro.parallel import ParallelSystem, blueprint
+
+    stages = 2
+    spec = blueprint(
+        "repro.parallel.blueprints:sleep_pipeline", stages=stages, service_us=500.0
+    )
+    tuples = [StreamTuple({"v": i}, timestamp=i * 0.001) for i in range(n_tuples)]
+    expected = [i + stages for i in range(n_tuples)]
+
+    def sample(workers: int) -> tuple[float, bool]:
+        with ParallelSystem(spec, n_workers=workers, train_size=train_size) as system:
+            start = time.perf_counter()
+            for begin in range(0, n_tuples, train_size):
+                system.push("source", tuples[begin : begin + train_size])
+            outputs = system.drain()
+            wall = time.perf_counter() - start
+            delivered = [tup.values["v"] for tup in outputs["sink"]]
+        return wall, delivered == expected
+
+    best = {1: float("inf"), 2: float("inf")}
+    match = True
+    for _ in range(repeats):
+        for workers in (1, 2):
+            wall, ok = sample(workers)
+            best[workers] = min(best[workers], wall)
+            match = match and ok
+    return {
+        "informational": True,
+        "workers_1_wall_s": round(best[1], 4),
+        "workers_2_wall_s": round(best[2], 4),
+        "speedup": round(best[1] / best[2], 2),
+        "tuples_delivered": n_tuples,
+        "outputs_match": match,
+    }
+
+
 # -- suite --------------------------------------------------------------------
 
 
@@ -573,29 +626,40 @@ def _run_suite(stream, n_tuples: int, train_size: int, repeats: int) -> dict:
             "obs_overhead": fresh(
                 measure_obs_overhead, pipeline_network, stream, train_size, repeats
             ),
+            "parallel_scale": fresh(
+                measure_parallel_scale, n_tuples, train_size, repeats
+            ),
         },
     }
     return report
 
 
-def print_report(report: dict) -> None:
+def print_report(report: dict, file=None) -> None:
+    out = file or sys.stdout
     print(f"\nPERF: wall-clock throughput "
           f"({report['config']['tuples']} tuples, "
           f"train {report['config']['train_size']}, "
-          f"best of {report['config']['repeats']})")
+          f"best of {report['config']['repeats']})", file=out)
     print(f"  {'topology':18s} {'scalar tps':>12s} {'batch tps':>12s} "
-          f"{'speedup':>8s}  outputs")
+          f"{'speedup':>8s}  outputs", file=out)
     for name, row in report["results"].items():
-        if "ratio" in row:
+        if "scalar_tps" not in row:
             continue
-        match = "identical" if row["outputs_match"] else "DIVERGED"
+        match = "identical" if row.get("outputs_match") else "DIVERGED"
         print(f"  {name:18s} {row['scalar_tps']:12,d} {row['batch_tps']:12,d} "
-              f"{row['speedup']:7.2f}x  {match}")
+              f"{row['speedup']:7.2f}x  {match}", file=out)
     obs = report["results"].get("obs_overhead")
     if obs:
         print(f"  obs layer  {obs['disabled_tps']:12,d} (off) "
               f"{obs['enabled_tps']:,d} (on)  "
-              f"{obs['ratio'] * 100:.1f}% throughput retained")
+              f"{obs['ratio'] * 100:.1f}% throughput retained", file=out)
+    scale = report["results"].get("parallel_scale")
+    if scale:
+        match = "identical" if scale.get("outputs_match") else "DIVERGED"
+        print(f"  parallel plane  1w {scale['workers_1_wall_s']:.3f}s  "
+              f"2w {scale['workers_2_wall_s']:.3f}s  "
+              f"{scale['speedup']:.2f}x scaling (informational)  {match}",
+              file=out)
 
 
 OBS_OVERHEAD_FLOOR = 0.95
@@ -617,7 +681,7 @@ def check_report(report: dict, baseline: dict | None = None) -> list[str]:
     regress more than 20% below the committed baseline speedup."""
     failures = []
     for name, row in report["results"].items():
-        if not row["outputs_match"]:
+        if not row.get("outputs_match", True):
             failures.append(f"{name}: batch outputs diverged from scalar")
         if row.get("virtual_time_match") is False:
             failures.append(f"{name}: virtual clocks diverged")
@@ -625,6 +689,10 @@ def check_report(report: dict, baseline: dict | None = None) -> list[str]:
             failures.append(
                 f"{name}: fused obs snapshot diverged from unfused"
             )
+        if row.get("informational"):
+            # Recorded for the trend line (e.g. parallel_scale), not
+            # floor-gated yet: correctness checks above still apply.
+            continue
         if name == "fusion" and row["speedup"] < FUSION_SPEEDUP_FLOOR:
             failures.append(
                 f"fusion: superbox speedup {row['speedup']:.2f}x below "
@@ -675,8 +743,19 @@ def check_against_baseline(report: dict, baseline: dict) -> list[str]:
         return []
     failures = []
     for name, row in report["results"].items():
+        if row.get("informational"):
+            continue  # trend-line rows are not baseline-gated
         base_row = baseline.get("results", {}).get(name)
-        if base_row is None or "speedup" not in row or "speedup" not in base_row:
+        if base_row is None:
+            # A newly added scenario with no committed baseline must
+            # fail loudly (regenerate BENCH_PERF.json), not silently
+            # pass the gate.
+            failures.append(
+                f"{name}: scenario missing from the committed baseline — "
+                f"regenerate BENCH_PERF.json to cover it"
+            )
+            continue
+        if "speedup" not in row or "speedup" not in base_row:
             continue
         floor = base_row["speedup"] * BASELINE_TOLERANCE
         if row["speedup"] < floor:
@@ -719,6 +798,49 @@ def test_baseline_comparison_flags_regression():
     assert any(f.startswith("pipeline:") for f in failures)
 
 
+def test_baseline_missing_scenario_fails_clearly():
+    # A scenario added after the baseline was committed must produce a
+    # named failure telling the operator to regenerate — not a KeyError,
+    # not a silent pass.
+    report = run_suite(n_tuples=200, train_size=20, repeats=1)
+    baseline = json.loads(json.dumps(report))
+    del baseline["results"]["window"]
+    failures = check_against_baseline(report, baseline)
+    assert failures == [
+        "window: scenario missing from the committed baseline — "
+        "regenerate BENCH_PERF.json to cover it"
+    ]
+
+
+def test_informational_rows_exempt_from_floors_not_correctness():
+    report = {
+        "config": {"tuples": 1, "train_size": 1, "repeats": 1},
+        "results": {
+            "parallel_scale": {
+                "informational": True,
+                "speedup": 0.4,  # would fail the >=1x gate if enforced
+                "outputs_match": True,
+            }
+        },
+    }
+    assert check_report(report) == []
+    report["results"]["parallel_scale"]["outputs_match"] = False
+    assert check_report(report) == [
+        "parallel_scale: batch outputs diverged from scalar"
+    ]
+    # Informational rows are also exempt from baseline comparison.
+    assert check_against_baseline(report, {"config": report["config"],
+                                           "results": {}}) == []
+
+
+def test_parallel_scale_recorded_in_suite():
+    report = run_suite(n_tuples=120, train_size=30, repeats=1)
+    row = report["results"]["parallel_scale"]
+    assert row["informational"] is True
+    assert row["outputs_match"] is True
+    assert row["workers_1_wall_s"] > 0 and row["workers_2_wall_s"] > 0
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -751,6 +873,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check:
         failures = check_report(report, baseline)
+        if failures:
+            # Repeat the per-scenario ratio table on stderr so a CI
+            # gate failure carries its own context in the failure log.
+            print_report(report, file=sys.stderr)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if failures else 0

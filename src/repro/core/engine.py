@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import islice
-from typing import Iterable, Union
+from typing import Any, Callable, Iterable, Union
 
 import numpy as np
 
@@ -631,40 +631,10 @@ class AuroraEngine:
         Replicates :meth:`_oldest_input_arc`'s selection rule: the first
         arc (in port order) whose head enqueue time is strictly smaller
         than any earlier arc's and no larger than any later arc's.
+        Delegates to the backend-agnostic :func:`claim_run`, keyed on
+        enqueue clocks.
         """
-        arcs = [arc for arc in box.input_arcs.values() if arc.queue]
-        if not arcs:
-            return None, 0
-        if len(arcs) == 1:
-            arc = arcs[0]
-            return arc, min(budget, len(arc.queue))
-        best = None
-        best_time = float("inf")
-        best_index = 0
-        heads = []
-        for index, arc in enumerate(arcs):
-            head = arc.queue_times[0] if arc.queue_times else 0.0
-            heads.append(head)
-            if head < best_time:
-                best, best_time, best_index = arc, head, index
-        # How long `best` keeps winning: its next head must stay strictly
-        # below every earlier arc's head and at or below every later one's
-        # (ties go to the earlier arc in port order).
-        min_before = min(heads[:best_index], default=float("inf"))
-        min_after = min(heads[best_index + 1:], default=float("inf"))
-        limit = min(budget, len(best.queue))
-        n = 0
-        for head in islice(best.queue_times, limit):
-            if head < min_before and head <= min_after:
-                n += 1
-            else:
-                break
-        if n == 0:
-            # No head times at all (tuples pushed outside the engine):
-            # the scalar path treats the head as infinitely old, so this
-            # arc keeps winning for the whole run.
-            n = limit
-        return best, n
+        return claim_run(box, budget, _enqueue_keys)
 
     def _normalize_segments(self, box: Box) -> Arc | None:
         """Prepare ``box``'s arcs for a claim; the columnar arc, if any.
@@ -1391,3 +1361,93 @@ class AuroraEngine:
             f"AuroraEngine({self.network.name!r}, clock={self.clock:.4f}, "
             f"scheduler={self.scheduler.name})"
         )
+
+
+# -- backend-agnostic claim loop ---------------------------------------------
+#
+# Every execution backend — the virtual-time engine above, the Aurora*
+# node simulation, and the real multiprocessing workers (repro.parallel)
+# — consumes input arcs with the same selection rule: pick the arc whose
+# head carries the smallest order key (ties to the earlier port), and
+# take the maximal run of consecutive head tuples that keep winning.
+# The backends differ only in what the order key *is* (the engine keys
+# on enqueue clocks, the distributed planes key on source timestamps),
+# so the rule lives here once, parameterized by a key view.
+
+
+def _enqueue_keys(arc: Arc):
+    """The engine's order keys: per-entry enqueue clocks."""
+    return arc.queue_times
+
+
+class timestamp_keys:
+    """Sequence view of a queue's source timestamps, for :func:`claim_run`.
+
+    Used by the backends that order claims by tuple timestamp rather
+    than enqueue clock (Aurora* nodes, parallel workers).
+    """
+
+    __slots__ = ("_queue",)
+
+    def __init__(self, arc: Arc):
+        self._queue = arc.queue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __getitem__(self, index: int) -> float:
+        return self._queue[index].timestamp
+
+    def __iter__(self):
+        for tup in self._queue:
+            yield tup.timestamp
+
+
+def claim_run(
+    box: Box, budget: int, keys_of: "Callable[[Arc], Any]"
+) -> tuple[Arc | None, int]:
+    """The input arc a per-tuple loop would consume from next, and how
+    many consecutive head tuples it would take before switching arcs
+    (capped by ``budget``).
+
+    ``keys_of(arc)`` returns a sequence of per-entry order keys aligned
+    with ``arc.queue``; it may be shorter than the queue (entries
+    without keys are treated as infinitely old, so the arc keeps
+    winning).  Selection rule: the first arc (in port order) whose head
+    key is strictly smaller than any earlier arc's and no larger than
+    any later arc's.
+    """
+    arcs = [arc for arc in box.input_arcs.values() if arc.queue]
+    if not arcs:
+        return None, 0
+    if len(arcs) == 1:
+        arc = arcs[0]
+        return arc, min(budget, len(arc.queue))
+    best = None
+    best_key = float("inf")
+    best_index = 0
+    heads = []
+    for index, arc in enumerate(arcs):
+        keys = keys_of(arc)
+        head = keys[0] if len(keys) else 0.0
+        heads.append(head)
+        if head < best_key:
+            best, best_key, best_index = arc, head, index
+    # How long `best` keeps winning: its next head must stay strictly
+    # below every earlier arc's head and at or below every later one's
+    # (ties go to the earlier arc in port order).
+    min_before = min(heads[:best_index], default=float("inf"))
+    min_after = min(heads[best_index + 1:], default=float("inf"))
+    limit = min(budget, len(best.queue))
+    n = 0
+    for key in islice(keys_of(best), limit):
+        if key < min_before and key <= min_after:
+            n += 1
+        else:
+            break
+    if n == 0:
+        # No order keys at all (tuples enqueued outside the engine):
+        # the per-tuple path treats the head as infinitely old, so this
+        # arc keeps winning for the whole run.
+        n = limit
+    return best, n

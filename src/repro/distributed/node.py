@@ -12,9 +12,9 @@ reads, and the failure hooks the HA machinery (Section 6) drives.
 
 from __future__ import annotations
 
-from itertools import islice
 from typing import TYPE_CHECKING
 
+from repro.core.engine import claim_run, timestamp_keys
 from repro.core.query import Arc, Box
 from repro.core.tuples import StreamTuple
 from repro.network.overlay import Message
@@ -294,32 +294,10 @@ class AuroraNode:
     def _claim_input(box: Box, budget: int) -> tuple[Arc | None, int]:
         """The arc :meth:`_nonempty_input` would pick, and the maximal
         run of its head tuples the per-tuple loop would consume from it
-        before another arc's head grew older (capped by ``budget``)."""
-        arcs = [arc for arc in box.input_arcs.values() if arc.queue]
-        if not arcs:
-            return None, 0
-        if len(arcs) == 1:
-            arc = arcs[0]
-            return arc, min(budget, len(arc.queue))
-        best = None
-        best_ts = float("inf")
-        best_index = 0
-        heads = []
-        for index, arc in enumerate(arcs):
-            head = arc.queue[0].timestamp
-            heads.append(head)
-            if head < best_ts:
-                best, best_ts, best_index = arc, head, index
-        min_before = min(heads[:best_index], default=float("inf"))
-        min_after = min(heads[best_index + 1:], default=float("inf"))
-        limit = min(budget, len(best.queue))
-        n = 0
-        for tup in islice(best.queue, limit):
-            if tup.timestamp < min_before and tup.timestamp <= min_after:
-                n += 1
-            else:
-                break
-        return best, max(n, 1)
+        before another arc's head grew older (capped by ``budget``).
+        Delegates to the backend-agnostic :func:`~repro.core.engine.claim_run`,
+        keyed on source timestamps."""
+        return claim_run(box, budget, timestamp_keys)
 
     def _complete(self, box: Box, emissions: list[tuple[int, StreamTuple]]) -> None:
         if self.failed:

@@ -1,0 +1,104 @@
+"""Spawn-safe network blueprints for the parallel execution plane.
+
+A worker process cannot receive a :class:`~repro.core.query.QueryNetwork`
+directly: operator boxes close over lambdas (every registered scenario
+does), and lambdas don't pickle.  What *does* travel cleanly through a
+``spawn`` boundary is a recipe — an importable factory path plus plain
+arguments.  Each worker rebuilds its own private copy of the network
+from the recipe, so closures never cross the process boundary at all.
+
+A blueprint spec is a plain dict::
+
+    {"factory": "repro.parallel.blueprints:scenario_network",
+     "args": ["iot_fleet"], "kwargs": {"scale": 0.25}}
+
+``factory`` is a ``"module:callable"`` path resolved with importlib in
+the child (sys.path propagates through spawn, so anything importable in
+the coordinator is importable in the worker).  The callable returns a
+:class:`QueryNetwork`, or a ``(network, ...)`` tuple whose first element
+is one (the scenario ``build()`` shape).
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import Any, Mapping
+
+from repro.core.operators import Map
+from repro.core.query import QueryNetwork
+
+
+def blueprint(factory: str, *args: Any, **kwargs: Any) -> dict:
+    """Build a blueprint spec dict for ``factory(*args, **kwargs)``."""
+    if ":" not in factory:
+        raise ValueError(
+            f"blueprint factory must be a 'module:callable' path, got {factory!r}"
+        )
+    return {"factory": factory, "args": list(args), "kwargs": dict(kwargs)}
+
+
+def build_network(spec: Mapping[str, Any]) -> QueryNetwork:
+    """Rebuild the network a blueprint spec describes (runs in the worker)."""
+    factory = spec["factory"]
+    module_name, _, attr = factory.partition(":")
+    if not module_name or not attr:
+        raise ValueError(
+            f"blueprint factory must be a 'module:callable' path, got {factory!r}"
+        )
+    fn = getattr(importlib.import_module(module_name), attr)
+    result = fn(*spec.get("args", ()), **spec.get("kwargs", {}))
+    network = result[0] if isinstance(result, tuple) else result
+    if not isinstance(network, QueryNetwork):
+        raise TypeError(f"blueprint factory {factory!r} did not build a QueryNetwork")
+    network.validate()
+    return network
+
+
+# -- registered factories ----------------------------------------------------
+
+
+def scenario_network(name: str, scale: float = 1.0) -> QueryNetwork:
+    """The query network of a registered SLO scenario (qos specs dropped).
+
+    The parallel plane runs with shedding disabled — that is part of the
+    oracle guarantee (see docs/parallel.md) — so the QoS specs the
+    scenario builder returns are not needed.
+    """
+    from repro.workloads.scenarios import make_scenario
+
+    network, _qos = make_scenario(name, scale).build()
+    return network
+
+
+def sleep_pipeline(
+    stages: int = 2, service_us: float = 300.0, field: str = "v"
+) -> QueryNetwork:
+    """A linear Map chain whose cost is real wall-clock time.
+
+    Each stage sleeps ``service_us`` microseconds per tuple, modelling
+    an operator bound by external latency (I/O, remote lookups) rather
+    than Python bytecode.  Used by the scaling benchmark: with the
+    chain split across processes the stages overlap in real time, so
+    throughput scales with workers no matter how many cores the
+    machine has.
+    """
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    service_s = service_us * 1e-6
+
+    def stage_fn(values: Mapping[str, Any]) -> dict[str, Any]:
+        time.sleep(service_s)
+        out = dict(values)
+        out[field] = out.get(field, 0) + 1
+        return out
+
+    net = QueryNetwork(f"sleep_pipeline_{stages}")
+    prev = "in:source"
+    for index in range(stages):
+        box_id = f"stage{index}"
+        net.add_box(box_id, Map(stage_fn, name=box_id, cost_per_tuple=service_s))
+        net.connect(prev, box_id)
+        prev = box_id
+    net.connect(prev, "out:sink")
+    return net

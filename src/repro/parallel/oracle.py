@@ -1,0 +1,202 @@
+"""The dual-backend oracle: simulator vs real worker processes.
+
+The deterministic virtual-time engine is the reference semantics of
+this repo; the parallel plane is a performance backend.  ``run_dual``
+runs the *same* scenario traffic through both and checks that they
+delivered the same thing:
+
+- **per-stream multiset equality** — every output stream must carry
+  the same bag of ``(timestamp, values)`` tuples.  Multisets, not
+  sequences: wall-clock interleaving across *independent* streams is
+  allowed to differ, but per-arc FIFO order (single producer per arc,
+  FIFO IPC queues) plus tree-shaped scenario topologies make even the
+  order-sensitive operators (Tumble run-windows) deterministic, so the
+  bags must match exactly;
+- **obs counter reconciliation** — per-box ``tuples_in``/``tuples_out``
+  must agree between the engine's boxes and the workers' boxes.
+
+The oracle guarantee holds with load shedding off and no fault
+injection (both are wall-clock-dependent policies, not semantics); the
+reference engine is built accordingly (``shedder=None``, no tracer)
+and the workers never shed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.engine import AuroraEngine
+from repro.core.tuples import StreamTuple
+from repro.parallel.blueprints import blueprint
+from repro.parallel.coordinator import ParallelSystem
+
+# Scenarios the equivalence suite runs by default (>= 3 registered SLO
+# scenarios, per the oracle gate): a CaseFilter routing tree, a sensor
+# filter chain, two independent tenant chains, and a Tumble aggregate.
+ORACLE_SCENARIOS = ("diurnal_checkout", "iot_fleet", "tenant_mix", "fin_ticks")
+
+
+def output_key(tup: StreamTuple) -> tuple:
+    """Multiset identity of one delivered tuple: timestamp + values.
+
+    Values are keyed by ``repr`` so float payloads compare exactly (both
+    backends run the identical operator code on identical inputs, so
+    bit-equal floats are the expectation, not an approximation).
+    """
+    return (
+        repr(tup.timestamp),
+        tuple(sorted((k, repr(v)) for k, v in tup.values.items())),
+    )
+
+
+def stream_multisets(outputs: Mapping[str, Any]) -> dict[str, Counter]:
+    return {
+        name: Counter(output_key(tup) for tup in tuples)
+        for name, tuples in outputs.items()
+    }
+
+
+@dataclass
+class DualResult:
+    """Outcome of one simulator-vs-parallel equivalence run."""
+
+    scenario: str
+    n_workers: int
+    outputs_match: bool
+    counters_match: bool
+    mismatches: list[str] = field(default_factory=list)
+    reference_outputs: dict[str, list[StreamTuple]] = field(default_factory=dict)
+    parallel_outputs: dict[str, list[StreamTuple]] = field(default_factory=dict)
+    reference_boxes: dict[str, dict[str, int]] = field(default_factory=dict)
+    parallel_boxes: dict[str, dict[str, int]] = field(default_factory=dict)
+    parallel_wall_clock: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outputs_match and self.counters_match
+
+    def summary(self) -> str:
+        verdict = "MATCH" if self.ok else "MISMATCH"
+        delivered = sum(len(v) for v in self.reference_outputs.values())
+        lines = [
+            f"{self.scenario}: {verdict} ({self.n_workers} workers, "
+            f"{delivered} delivered, parallel wall {self.parallel_wall_clock:.2f}s)"
+        ]
+        lines.extend(f"  - {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def run_reference(
+    name: str, scale: float = 0.25, seed: int = 0, train_size: int = 50
+) -> tuple[dict[str, list[StreamTuple]], dict[str, dict[str, int]]]:
+    """Run a scenario on the virtual-time engine (the oracle side)."""
+    from repro.workloads.scenarios import make_scenario
+
+    scenario = make_scenario(name, scale)
+    network, _qos = scenario.build()
+    engine = AuroraEngine(network, train_size=train_size)  # no shedder, no tracer
+    traffic = scenario.traffic(seed)
+    merged: list[tuple[float, str, int, StreamTuple]] = []
+    for input_name, tuples in traffic.items():
+        for position, tup in enumerate(tuples):
+            merged.append((tup.timestamp, input_name, position, tup))
+    merged.sort(key=lambda item: (item[0], item[1], item[2]))
+    for _ts, input_name, _pos, tup in merged:
+        engine.push(input_name, tup)
+    engine.run_until_idle()
+    engine.flush()
+    outputs = {stream: list(buffer) for stream, buffer in engine.outputs.items()}
+    boxes = {
+        box_id: {"tuples_in": box.tuples_in, "tuples_out": box.tuples_out}
+        for box_id, box in network.boxes.items()
+    }
+    return outputs, boxes
+
+
+def run_parallel(
+    name: str,
+    scale: float = 0.25,
+    seed: int = 0,
+    n_workers: int = 2,
+    train_size: int = 50,
+    log_dir: str | None = None,
+    drain_timeout: float = 120.0,
+) -> tuple[dict[str, list[StreamTuple]], dict[str, dict[str, int]], float]:
+    """Run the same scenario on the multiprocessing backend."""
+    from repro.workloads.scenarios import make_scenario
+
+    scenario = make_scenario(name, scale)
+    traffic = scenario.traffic(seed)
+    spec = blueprint(
+        "repro.parallel.blueprints:scenario_network", name, scale=scale
+    )
+    with ParallelSystem(
+        spec, n_workers=n_workers, train_size=train_size, log_dir=log_dir
+    ) as system:
+        started = time.perf_counter()
+        system.push_traffic(traffic)
+        outputs = system.drain(timeout=drain_timeout)
+        wall = time.perf_counter() - started
+        boxes = system.stats()["boxes"]
+        # Snapshot before shutdown tears the queues down.
+        outputs = {stream: list(tuples) for stream, tuples in outputs.items()}
+    return outputs, boxes, wall
+
+
+def run_dual(
+    name: str,
+    scale: float = 0.25,
+    seed: int = 0,
+    n_workers: int = 2,
+    train_size: int = 50,
+    log_dir: str | None = None,
+    drain_timeout: float = 120.0,
+) -> DualResult:
+    """Run both backends and reconcile outputs + per-box counters."""
+    ref_outputs, ref_boxes = run_reference(name, scale, seed, train_size)
+    par_outputs, par_boxes, wall = run_parallel(
+        name, scale, seed, n_workers, train_size, log_dir, drain_timeout
+    )
+    mismatches: list[str] = []
+
+    ref_bags = stream_multisets(ref_outputs)
+    par_bags = stream_multisets(par_outputs)
+    outputs_match = True
+    for stream in sorted(set(ref_bags) | set(par_bags)):
+        ref_bag = ref_bags.get(stream, Counter())
+        par_bag = par_bags.get(stream, Counter())
+        if ref_bag != par_bag:
+            outputs_match = False
+            missing = sum((ref_bag - par_bag).values())
+            extra = sum((par_bag - ref_bag).values())
+            mismatches.append(
+                f"stream {stream!r}: reference delivered {sum(ref_bag.values())}, "
+                f"parallel {sum(par_bag.values())} "
+                f"({missing} missing, {extra} unexpected)"
+            )
+
+    counters_match = True
+    for box_id in sorted(set(ref_boxes) | set(par_boxes)):
+        ref_counts = ref_boxes.get(box_id)
+        par_counts = par_boxes.get(box_id)
+        if ref_counts != par_counts:
+            counters_match = False
+            mismatches.append(
+                f"box {box_id!r}: reference {ref_counts}, parallel {par_counts}"
+            )
+
+    return DualResult(
+        scenario=name,
+        n_workers=n_workers,
+        outputs_match=outputs_match,
+        counters_match=counters_match,
+        mismatches=mismatches,
+        reference_outputs=ref_outputs,
+        parallel_outputs=par_outputs,
+        reference_boxes=ref_boxes,
+        parallel_boxes=par_boxes,
+        parallel_wall_clock=wall,
+    )

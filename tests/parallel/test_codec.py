@@ -1,0 +1,179 @@
+"""In-process round-trips of the pickle-free wire codec."""
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import ColumnarTrain
+from repro.core.tuples import StreamTuple
+from repro.network.framing import (
+    KIND_COLUMNAR,
+    KIND_CONTROL,
+    KIND_ROWS,
+    FrameError,
+    decode_data,
+    decode_frame,
+    encode_control,
+    encode_data,
+)
+from repro.network.transport import TupleTrainMessage, train_frame_size
+from repro.obs.trace import TraceContext
+
+
+def make_rows():
+    return [
+        StreamTuple(
+            {"sym": "A", "px": 10.5, "n": 3, "ok": True, "note": None},
+            timestamp=0.25,
+            seq=7,
+            origin="feed",
+            trace=TraceContext(11, 22),
+        ),
+        StreamTuple({"sym": "B", "px": -2.0, "n": 0, "ok": False, "note": None},
+                    timestamp=0.5),
+    ]
+
+
+def assert_trains_equal(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.values == right.values
+        assert left.timestamp == right.timestamp
+        assert left.seq == right.seq
+        assert left.origin == right.origin
+        if left.trace is None:
+            assert right.trace is None
+        else:
+            assert right.trace is not None
+            assert (left.trace.trace_id, left.trace.span_id) == (
+                right.trace.trace_id,
+                right.trace.span_id,
+            )
+
+
+class TestControlFrames:
+    def test_round_trip(self):
+        payload = {"type": "fence", "round": 3, "sent": {"w0": 1}, "ok": True}
+        kind, route, decoded = decode_frame(encode_control(payload))
+        assert kind == KIND_CONTROL
+        assert route is None
+        assert decoded == payload
+
+    def test_data_decoder_rejects_control(self):
+        with pytest.raises(FrameError):
+            decode_data(encode_control({"type": "stop"}))
+
+
+class TestRowFrames:
+    def test_round_trip_preserves_metadata(self):
+        rows = make_rows()
+        frame = encode_data("arc3", rows)
+        kind, route, train = decode_frame(frame)
+        assert kind == KIND_ROWS
+        assert route == "arc3"
+        assert_trains_equal(rows, train)
+
+    def test_value_types(self):
+        rows = [
+            StreamTuple(
+                {
+                    "i": 2**40,
+                    "big": 2**80,  # beyond i64: bigint fallback
+                    "f": 1.5e-9,
+                    "s": "héllo",
+                    "b": b"\x00\xff",
+                    "lst": [1, "two", None],
+                    "tup": (1, 2),
+                    "map": {"k": [True, False]},
+                },
+                timestamp=1.0,
+            )
+        ]
+        _route, train = decode_data(encode_data("a", rows))
+        assert train[0].values == rows[0].values
+
+    def test_unencodable_value_raises(self):
+        rows = [StreamTuple({"x": object()}, timestamp=0.0)]
+        with pytest.raises(FrameError):
+            encode_data("a", rows)
+
+    def test_empty_train(self):
+        route, train = decode_data(encode_data("a", []))
+        assert route == "a"
+        assert train == []
+
+
+class TestColumnarFrames:
+    def test_round_trip_stays_columnar(self):
+        rows = make_rows()
+        columnar = ColumnarTrain.from_tuples(rows)
+        frame = encode_data("out:px", columnar)
+        kind, route, train = decode_frame(frame)
+        assert kind == KIND_COLUMNAR
+        assert route == "out:px"
+        assert isinstance(train, ColumnarTrain)
+        assert_trains_equal(rows, train.to_tuples())
+
+    def test_numeric_columns_ship_as_raw_dtype(self):
+        rows = [StreamTuple({"v": float(i), "k": i}, timestamp=i * 0.1)
+                for i in range(5)]
+        columnar = ColumnarTrain.from_tuples(rows)
+        _route, train = decode_data(encode_data("a", columnar))
+        assert train.column("v").dtype == np.dtype("<f8")
+        assert train.column("k").dtype == np.dtype("<i8")
+        assert_trains_equal(rows, train.to_tuples())
+
+    def test_object_column_fallback(self):
+        rows = [StreamTuple({"tag": ("x", i)}, timestamp=float(i)) for i in range(3)]
+        columnar = ColumnarTrain.from_tuples(rows)
+        _route, train = decode_data(encode_data("a", columnar))
+        assert isinstance(train, ColumnarTrain)
+        assert_trains_equal(rows, train.to_tuples())
+
+
+class TestMalformedFrames:
+    def test_bad_magic(self):
+        frame = bytearray(encode_control({"type": "stop"}))
+        frame[0] ^= 0xFF
+        with pytest.raises(FrameError):
+            decode_frame(bytes(frame))
+
+    def test_bad_version(self):
+        frame = bytearray(encode_control({"type": "stop"}))
+        frame[1] = 99
+        with pytest.raises(FrameError):
+            decode_frame(bytes(frame))
+
+    def test_truncated(self):
+        frame = encode_data("arc", make_rows())
+        with pytest.raises(FrameError):
+            decode_frame(frame[: len(frame) // 2])
+
+    def test_empty(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"")
+
+
+class TestTupleTrainMessageBridge:
+    def test_to_wire_from_wire(self):
+        rows = make_rows()
+        message = TupleTrainMessage.from_train("arc9", rows, tuple_bytes=32)
+        wire = message.to_wire(rows)
+        back, train = TupleTrainMessage.from_wire(wire, tuple_bytes=32)
+        assert back.stream == "arc9"
+        assert back.tuple_count == len(rows)
+        assert back.size == train_frame_size(len(rows), 32, 24)
+        assert_trains_equal(rows, train)
+
+    def test_columnar_train_frames_row_free(self):
+        rows = make_rows()
+        columnar = ColumnarTrain.from_tuples(rows)
+        message = TupleTrainMessage.from_train("arc9", columnar, tuple_bytes=32)
+        wire = message.to_wire(columnar)
+        _back, train = TupleTrainMessage.from_wire(wire, tuple_bytes=32)
+        assert isinstance(train, ColumnarTrain)
+
+    def test_length_mismatch_raises(self):
+        rows = make_rows()
+        message = TupleTrainMessage.from_train("arc9", rows, tuple_bytes=32)
+        with pytest.raises(ValueError):
+            message.to_wire(rows[:1])

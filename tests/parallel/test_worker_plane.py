@@ -1,0 +1,203 @@
+"""The multiprocessing execution plane: coordinator + workers."""
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.parallel import (
+    ParallelError,
+    ParallelSystem,
+    WorkerFailed,
+    blueprint,
+    build_network,
+    partition_boxes,
+)
+from repro.parallel.blueprints import scenario_network, sleep_pipeline
+
+PIPELINE_SPEC = blueprint(
+    "repro.parallel.blueprints:sleep_pipeline", stages=3, service_us=1.0
+)
+
+
+def source_tuples(n):
+    return [StreamTuple({"v": i}, timestamp=i * 0.001) for i in range(n)]
+
+
+# -- importable factories for failure-path tests -----------------------------
+
+
+def broken_network():
+    raise RuntimeError("blueprint factory exploded")
+
+
+def exploding_network():
+    """A pipeline whose stage raises on one specific tuple."""
+    from repro.core.operators import Map
+    from repro.core.query import QueryNetwork
+
+    def detonate(values):
+        if values["v"] == 13:
+            raise RuntimeError("poison tuple")
+        return values
+
+    net = QueryNetwork("exploding")
+    net.add_box("stage", Map(detonate))
+    net.connect("in:source", "stage")
+    net.connect("stage", "out:sink")
+    return net
+
+
+# -- blueprints --------------------------------------------------------------
+
+
+class TestBlueprints:
+    def test_build_network_rebuilds_scenarios(self):
+        spec = blueprint(
+            "repro.parallel.blueprints:scenario_network", "tenant_mix", scale=0.25
+        )
+        net = build_network(spec)
+        assert net.boxes and net.outputs
+
+    def test_build_matches_direct_call(self):
+        net = scenario_network("iot_fleet", scale=0.25)
+        assert set(net.boxes) == set(
+            build_network(
+                blueprint(
+                    "repro.parallel.blueprints:scenario_network",
+                    "iot_fleet",
+                    scale=0.25,
+                )
+            ).boxes
+        )
+
+    def test_bad_factory_path_rejected(self):
+        with pytest.raises(ValueError):
+            blueprint("not_a_module_path")
+
+    def test_sleep_pipeline_shape(self):
+        net = sleep_pipeline(stages=4)
+        assert len(net.boxes) == 4
+        assert net.topological_order() == [f"stage{i}" for i in range(4)]
+
+
+class TestPartition:
+    def test_contiguous_chunks_cover_all_boxes(self):
+        net = sleep_pipeline(stages=5)
+        placement = partition_boxes(net, 2)
+        assert set(placement) == set(net.boxes)
+        assert placement["stage0"] == "w0"
+        assert placement["stage4"] == "w1"
+        # Contiguity: once the worker changes along the chain it never
+        # changes back.
+        owners = [placement[b] for b in net.topological_order()]
+        assert owners == sorted(owners)
+
+    def test_workers_clamped_to_box_count(self):
+        net = sleep_pipeline(stages=2)
+        placement = partition_boxes(net, 8)
+        assert len(set(placement.values())) == 2
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            partition_boxes(sleep_pipeline(stages=2), 0)
+
+
+# -- the live plane ----------------------------------------------------------
+
+
+class TestParallelSystem:
+    def test_delivers_everything_in_arc_order(self):
+        with ParallelSystem(PIPELINE_SPEC, n_workers=2, train_size=20) as system:
+            tuples = source_tuples(200)
+            for start in range(0, 200, 20):
+                system.push("source", tuples[start : start + 20])
+            outputs = system.drain()
+            delivered = [tup.values["v"] for tup in outputs["sink"]]
+        # Single chain, single producer per arc: full FIFO order, every
+        # stage bumped v once.
+        assert delivered == [i + 3 for i in range(200)]
+
+    def test_stats_reconcile_with_delivery(self):
+        with ParallelSystem(PIPELINE_SPEC, n_workers=2, train_size=20) as system:
+            system.push("source", source_tuples(60))
+            system.drain()
+            stats = system.stats()
+        for stage in ("stage0", "stage1", "stage2"):
+            assert stats["boxes"][stage] == {"tuples_in": 60, "tuples_out": 60}
+        assert sum(w["processed"] for w in stats["workers"].values()) == 180
+
+    def test_liveness_reports_every_worker(self):
+        with ParallelSystem(PIPELINE_SPEC, n_workers=2) as system:
+            system.push("source", source_tuples(10))
+            system.drain()
+            report = system.liveness()
+            assert set(report) == {"w0", "w1"}
+            for entry in report.values():
+                assert entry["alive"]
+                assert entry["last_seen_age"] is not None
+
+    def test_explicit_placement(self):
+        placement = {"stage0": "w0", "stage1": "w1", "stage2": "w0"}
+        with ParallelSystem(PIPELINE_SPEC, placement=placement) as system:
+            system.push("source", source_tuples(30))
+            outputs = system.drain()
+        assert [t.values["v"] for t in outputs["sink"]] == [i + 3 for i in range(30)]
+
+    def test_placement_must_cover_network(self):
+        with pytest.raises(ValueError):
+            ParallelSystem(PIPELINE_SPEC, placement={"stage0": "w0"})
+
+    def test_unknown_input_raises(self):
+        with ParallelSystem(PIPELINE_SPEC, n_workers=1) as system:
+            with pytest.raises(KeyError):
+                system.push("nope", source_tuples(1))
+
+    def test_push_before_start_raises(self):
+        system = ParallelSystem(PIPELINE_SPEC, n_workers=1)
+        with pytest.raises(ParallelError):
+            system.push("source", source_tuples(1))
+
+    def test_drain_is_repeatable(self):
+        with ParallelSystem(PIPELINE_SPEC, n_workers=2, train_size=10) as system:
+            system.push("source", source_tuples(20))
+            first = len(system.drain()["sink"])
+            system.push("source", source_tuples(20))
+            second = len(system.drain()["sink"])
+        assert first == 20
+        assert second == 40  # outputs accumulate across drains
+
+    def test_shutdown_idempotent(self):
+        system = ParallelSystem(PIPELINE_SPEC, n_workers=1).start()
+        system.shutdown()
+        system.shutdown()
+
+
+class TestFailurePaths:
+    def test_broken_blueprint_surfaces_factory_error(self):
+        # The coordinator rebuilds its own network copy up front, so a
+        # broken blueprint fails at construction — before any process
+        # is spawned — with the factory's own error.
+        spec = blueprint("tests.parallel.test_worker_plane:broken_network")
+        with pytest.raises(RuntimeError, match="blueprint factory exploded"):
+            ParallelSystem(spec, n_workers=1)
+
+    def test_operator_crash_propagates_with_traceback(self):
+        spec = blueprint("tests.parallel.test_worker_plane:exploding_network")
+        system = ParallelSystem(spec, n_workers=1).start()
+        try:
+            with pytest.raises(WorkerFailed) as excinfo:
+                system.push("source", source_tuples(50))  # v=13 detonates
+                system.drain()
+            assert "poison tuple" in str(excinfo.value)
+        finally:
+            system.shutdown()
+
+    def test_worker_logs_written(self, tmp_path):
+        spec = blueprint(
+            "repro.parallel.blueprints:sleep_pipeline", stages=2, service_us=1.0
+        )
+        with ParallelSystem(spec, n_workers=2, log_dir=str(tmp_path)) as system:
+            system.push("source", source_tuples(10))
+            system.drain()
+        logs = sorted(p.name for p in tmp_path.glob("*.log"))
+        assert logs == ["sleep_pipeline_2-w0.log", "sleep_pipeline_2-w1.log"]
+        assert "worker w0 up" in (tmp_path / "sleep_pipeline_2-w0.log").read_text()
