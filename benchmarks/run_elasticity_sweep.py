@@ -1,0 +1,79 @@
+"""Elasticity property sweep (CI smoke + nightly full corpus).
+
+Drives :mod:`repro.sim.elasticity_sweep` — seeded random pipelines ×
+traffic seeds on the engine plane (split / re-split / merge must be
+exactly output-transparent) and the system plane (a node crash lands
+before, inside, or after a two-phase transfer window; output loss must
+stay bounded by the controller's declared loss).  Writes a JSON report
+and one violation file per failing seed so the workflow can upload them
+as artifacts; a failing seed replays locally with the same number.
+
+    PYTHONPATH=src python benchmarks/run_elasticity_sweep.py \
+        [--seeds N] [--crash-seeds N] [--start N] [--out-dir DIR]
+
+Exits non-zero if any seed violated the split-equivalence or declared-
+loss contract (or if the crash corpus never exercised the two-phase
+protocol at all — a vacuous corpus is a failure, not a pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.sim.elasticity_sweep import run_crash_sweep, run_engine_sweep
+
+DEFAULT_SEEDS = 50
+DEFAULT_CRASH_SEEDS = 10
+
+
+def run(seeds: int, crash_seeds: int, start: int, out_dir: Path) -> dict:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report = {
+        "suite": "elasticity_property_sweep",
+        "config": {"seeds": seeds, "crash_seeds": crash_seeds, "start": start},
+        "engine": run_engine_sweep(seeds, start=start),
+        "crash": run_crash_sweep(crash_seeds, start=start),
+    }
+    report["ok"] = report["engine"]["ok"] and report["crash"]["ok"]
+    for sweep in ("engine", "crash"):
+        for row in report[sweep]["reports"]:
+            if row["ok"]:
+                continue
+            path = out_dir / f"violation-{sweep}-seed{row['seed']}.json"
+            path.write_text(json.dumps(row, indent=2) + "\n")
+    (out_dir / "elasticity-sweep.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS)
+    parser.add_argument("--crash-seeds", type=int, default=DEFAULT_CRASH_SEEDS)
+    parser.add_argument("--start", type=int, default=0)
+    parser.add_argument("--out-dir", type=Path, default=Path("elasticity-report"))
+    args = parser.parse_args(argv)
+
+    report = run(args.seeds, args.crash_seeds, args.start, args.out_dir)
+    for sweep in ("engine", "crash"):
+        row = report[sweep]
+        totals = row["totals"]
+        print(
+            f"{sweep:>7}: {row['seeds']} seeds, "
+            f"{'ok' if row['ok'] else 'FAIL'} "
+            f"(splits {totals['splits']}, resplits {totals['resplits']}, "
+            f"merges {totals['merges']}, rollbacks {totals['rollbacks']}, "
+            f"repairs {totals['repairs']}, declared_lost {totals['declared_lost']})"
+        )
+        for violation in row["violations"]:
+            print(f"         {violation}")
+    print(f"suite: {'pass' if report['ok'] else 'FAIL'}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

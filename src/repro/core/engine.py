@@ -204,6 +204,15 @@ class AuroraEngine:
             queued = box.queued()
             if queued:
                 self.queued_counts[box_id] = queued
+        # Boxes *removed* by a rewrite (a merge, a replica retirement)
+        # must not linger in the per-box obs handle caches: under
+        # elastic churn replica ids are never reused, so stale handles
+        # would accumulate without bound.  The registry keeps the
+        # underlying counters, so lifetime totals survive the prune.
+        live = self.network.boxes
+        for cache in (self._m_box_in, self._m_box_out, self._m_decisions):
+            for stale in [box_id for box_id in cache if box_id not in live]:
+                del cache[stale]
         # Superbox compilation (repro.core.fusion).  The run map is kept
         # even with fusion off: train pushing and flushing visit a run's
         # members consecutively in both modes, so fused and unfused
@@ -1276,6 +1285,36 @@ class AuroraEngine:
                     tracer.event(
                         tup.trace, f"deliver:{output_name}", at=tup.timestamp
                     )
+
+    def drain_boxes(self, box_ids: Iterable[str], max_rounds: int = 1_000_000) -> int:
+        """Synchronously run the given boxes until their queues are empty.
+
+        The elasticity controller's quiesce step: before moving window
+        state between replicas it drains the group (router first — the
+        boxes run in topological order — then the replicas), so no
+        in-flight tuple of a migrating key can reach its old owner after
+        the ring changes.  Runs through :meth:`_run_train`, so queued
+        counts, busy time and obs accounting stay exact.  Returns the
+        number of tuples drained.
+        """
+        drained = 0
+        for box_id in sorted(box_ids, key=lambda b: self.topo_position.get(b, 0)):
+            self.defuse(box_id)
+            box = self.network.boxes[box_id]
+            for _ in range(max_rounds):
+                queued = box.queued()
+                if queued == 0:
+                    break
+                before = box.tuples_in
+                self._run_train(box_id, limit=queued)
+                if box.tuples_in == before:
+                    raise RuntimeError(
+                        f"drain of {box_id!r} stalled with {queued} tuples queued"
+                    )
+                drained += box.tuples_in - before
+            else:
+                raise RuntimeError(f"drain of {box_id!r} exceeded {max_rounds} rounds")
+        return drained
 
     def run_until_idle(self, max_steps: int = 1_000_000) -> float:
         """Step until no box has queued input.  Returns time consumed."""

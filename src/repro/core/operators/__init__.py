@@ -17,6 +17,7 @@ from repro.core.operators.base import Operator, StatelessOperator
 from repro.core.operators.case_filter import CaseFilter, value_router
 from repro.core.operators.filter import Filter
 from repro.core.operators.map import Map
+from repro.core.operators.partition import PartitionRouter
 from repro.core.operators.union import Union
 from repro.core.operators.wsort import WSort
 from repro.core.operators.tumble import Tumble
@@ -31,6 +32,7 @@ __all__ = [
     "StatelessOperator",
     "Filter",
     "Map",
+    "PartitionRouter",
     "Union",
     "WSort",
     "Tumble",

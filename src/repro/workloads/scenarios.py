@@ -28,6 +28,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.adhoc import run_adhoc
+from repro.core.elasticity import (
+    ElasticityController,
+    ElasticityPolicy,
+    ElasticitySpec,
+    EnginePlane,
+)
 from repro.core.engine import AuroraEngine
 from repro.core.operators import CaseFilter, Filter, Map, Tumble
 from repro.core.qos import QoSSpec, latency_qos, loss_qos
@@ -174,6 +180,10 @@ class Scenario:
         recovery_backlog: queued-work level counting as "recovered".
         drain_grace: extra probing time after ``duration`` while the
             backlog drains (defaults to ``2 * duration``).
+        elasticity: optional :class:`ElasticitySpec`; when set, the
+            runner installs an :class:`ElasticityController` over the
+            engine and drives it from the probe tick, so hot boxes
+            split/merge at runtime while the run is scored.
         setup / on_tick / on_finish: optional runner hooks (Medusa
             market rounds, ad-hoc query bursts, invariant checks).
     """
@@ -198,6 +208,7 @@ class Scenario:
     setup: Callable[["ScenarioRunner"], None] | None = None
     on_tick: Callable[["ScenarioRunner", float], None] | None = None
     on_finish: Callable[["ScenarioRunner"], None] | None = None
+    elasticity: ElasticitySpec | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -298,6 +309,17 @@ class ScenarioRunner:
             batch_execution=batch_execution,
             fusion=fusion,
         )
+        self.controller: ElasticityController | None = None
+        if scenario.elasticity is not None:
+            self.controller = ElasticityController.from_spec(
+                EnginePlane(
+                    self.engine,
+                    scenario.elasticity.policy.capacity_per_replica,
+                ),
+                scenario.elasticity,
+                metrics=self.registry,
+                tracer=tracer,
+            )
         self.probes: list[Probe] = []
         self._scanned: dict[str, int] = {}
         self._watermarks: dict[str, float] = {}
@@ -323,6 +345,11 @@ class ScenarioRunner:
         are clock-identical.
         """
         engine = self.engine
+        # Elasticity first: a split that lands this tick changes the
+        # load factor the shedder is about to read, so the shedder sees
+        # the post-rewrite capacity (scale out beats dropping tuples).
+        if self.controller is not None:
+            self.controller.probe(engine.clock)
         if engine.shedder is not None:
             engine.shedder.update(engine)
         clock = engine.clock
@@ -661,6 +688,79 @@ def _flash_crowd(scale: float) -> Scenario:
             SLO("p99_latency", "latency", target=2.50, percentile=99.0),
             SLO("shed_budget", "shed_fraction", target=0.20),
             SLO("crowd_recovery", "recovery", target=3.0),
+        ],
+    )
+
+
+# -- scenario 2b: flash crowd absorbed by elastic scale-out -------------------
+
+
+def _elastic_flash_crowd(scale: float) -> Scenario:
+    """A single sustained 6x flash crowd on a keyed serving pipeline.
+
+    Unlike ``flash_crowd``, the node is provisioned for the *base* load
+    only: riding out the crowd within the shed budget requires the
+    elasticity controller to split the hot ``serve`` box across spare
+    capacity (``capacity_per_replica``) and merge back afterwards.  The
+    same scenario with ``elasticity=None`` blows straight through the
+    shed-fraction SLO — that contrast is asserted in the test suite.
+    """
+    duration = 10.0
+    keys = _count(96 * scale, 24)
+
+    def build() -> tuple[QueryNetwork, dict[str, QoSSpec]]:
+        net = QueryNetwork("elastic_flash_crowd")
+        net.add_box("gate", Filter(lambda t: t["req"] >= 0, cost_per_tuple=0.0004))
+        net.add_box(
+            "serve",
+            Map(lambda v: {**v, "served": True}, cost_per_tuple=0.0024),
+        )
+        net.add_box("audit", Filter(lambda t: True, cost_per_tuple=0.0003))
+        net.connect("in:requests", "gate")
+        net.connect("gate", "serve")
+        net.connect("serve", "audit")
+        net.connect("audit", "out:served")
+        return net, {"served": _loss()}
+
+    def traffic(seed: int) -> Traffic:
+        source = FlashCrowdSource(
+            base_rate=140.0 * scale,
+            crowd_rate=900.0 * scale,
+            crowds=[(3.0, 5.5)],
+            population=KeyedPopulation(keys, skew=1.6, rotate_every=2.0),
+            seed=seed,
+        )
+        return {"requests": source.generate(duration)}
+
+    return Scenario(
+        name="elastic_flash_crowd",
+        description="a 6x flash crowd on a base-provisioned serving box; "
+        "staying inside the shed budget needs runtime scale-out",
+        build=build,
+        traffic=traffic,
+        duration=duration,
+        cpu_capacity=scale,
+        load_window=0.5,
+        shedder_target=0.5,
+        faults=[InputOutageFault(7.5, 8.2, input_name="requests")],
+        elasticity=ElasticitySpec(
+            boxes={"serve": ("key",)},
+            policy=ElasticityPolicy(
+                high_water=0.35,
+                low_water=0.12,
+                cooldown=0.3,
+                max_replicas=4,
+                capacity_per_replica=scale,
+            ),
+        ),
+        slos=[
+            SLO("p99_latency", "latency", target=2.50, percentile=99.0),
+            SLO("shed_budget", "shed_fraction", target=0.05),
+            SLO("crowd_recovery", "recovery", target=3.0),
+            SLO("scale_out", "counter_min", target=1.0,
+                metric="elasticity.splits"),
+            SLO("scale_in", "counter_min", target=1.0,
+                metric="elasticity.merges"),
         ],
     )
 
@@ -1037,6 +1137,7 @@ def _tenant_mix(scale: float) -> Scenario:
 SCENARIO_BUILDERS: dict[str, Callable[[float], Scenario]] = {
     "diurnal_checkout": _diurnal_checkout,
     "flash_crowd": _flash_crowd,
+    "elastic_flash_crowd": _elastic_flash_crowd,
     "iot_fleet": _iot_fleet,
     "medusa_market": _medusa_market,
     "fin_ticks": _fin_ticks,

@@ -1,0 +1,76 @@
+"""Property-test harness: every elastic rewrite is safe (ISSUE 9 headline).
+
+Drives ``repro.sim.elasticity_sweep`` over seeded random networks ×
+traffic seeds and asserts the split-equivalence contract per seed:
+
+* engine plane — the controller splits, re-splits on skew, and merges
+  mid-stream, yet output multisets and the elastic family's lifetime
+  ``tuples_in`` counters match a never-touched reference run exactly,
+  and the router conserves tuples (in == routed == out);
+* system plane — a node is killed at a seeded time (sometimes inside a
+  two-phase transfer window, forcing a rollback; sometimes after the
+  commit, forcing a repair) and outputs missing versus the reference are
+  bounded by the controller's *declared* loss, with nothing unexplained.
+
+Seed count comes from ``ELASTICITY_SEEDS`` (CI smoke uses 10; the
+default — and the nightly sweep — is 50).  Per-seed vacuousness checks
+live inside the sweep: a seed whose controller never fires *fails*, so
+the corpus can't silently stop testing anything.
+"""
+
+import os
+
+from repro.sim.elasticity_sweep import (
+    run_crash_seed,
+    run_engine_seed,
+)
+
+SEEDS = int(os.environ.get("ELASTICITY_SEEDS", "50"))
+CRASH_SEEDS = max(10, SEEDS // 5)
+
+
+def _fail_message(reports) -> str:
+    lines = []
+    for r in reports:
+        if not r.ok:
+            lines.append(f"seed {r.seed} ({r.kind}): " + "; ".join(r.violations))
+    return "\n".join(lines)
+
+
+class TestEngineSweep:
+    """Scale-out / re-split / merge under churn is exact (no shedding)."""
+
+    def test_split_equivalence_over_seed_corpus(self):
+        reports = [run_engine_seed(s) for s in range(SEEDS)]
+        assert all(r.ok for r in reports), _fail_message(reports)
+        # Corpus-level coverage: the ramping flash crowd must push some
+        # seeds past the post-split equilibrium into k > 2 ...
+        assert max(r.max_replicas_seen for r in reports) >= 3
+        # ... and the routed-delta skew detector must classify at least
+        # one scale-out as a re-split somewhere in the corpus.
+        assert sum(r.resplits for r in reports) >= 1
+        # Per-seed splits/merges >= 1 are asserted inside the sweep;
+        # re-check the aggregate here so a harness regression that
+        # weakens the per-seed check is caught too.
+        assert all(r.splits + r.resplits >= 1 for r in reports)
+        assert all(r.merges >= 1 for r in reports)
+
+
+class TestCrashSweep:
+    """Mid-rewrite node crashes: converge or roll back, loss declared."""
+
+    def test_loss_bounded_by_declared_over_seed_corpus(self):
+        reports = [run_crash_seed(s) for s in range(CRASH_SEEDS)]
+        assert all(r.ok for r in reports), _fail_message(reports)
+        # The jittered crash time must exercise both halves of the
+        # protocol somewhere in the corpus: a crash inside the transfer
+        # window (rollback, zero loss) and one after commit (repair).
+        assert sum(r.rollbacks for r in reports) >= 1
+        assert sum(r.repairs for r in reports) >= 1
+        # Rollbacks are the zero-risk path: a seed that only rolled
+        # back (never repaired) must have lost nothing at all.
+        for r in reports:
+            if r.repairs == 0:
+                assert r.missing == 0, f"seed {r.seed} lost tuples without a repair"
+        # And nothing unexplained ever appears.
+        assert all(r.extra == 0 for r in reports)

@@ -173,3 +173,64 @@ class TestQueuedIndex:
         choice = qos.choose(engine)
         assert choice is not None and net.boxes[choice].queued() > 0
         assert qos.choose(engine) == choice
+
+
+class TestRemovalInvalidation:
+    """A rewrite that REMOVES boxes (an elastic merge) must leave the
+    sparse index and the per-box metric handle caches consistent."""
+
+    def elastic_cycle(self):
+        """Split E behind a router, queue tuples everywhere, merge back."""
+        from repro.core.elasticity import (
+            ElasticityController,
+            ElasticityPolicy,
+            EnginePlane,
+        )
+        from repro.core.tuples import StreamTuple
+
+        net = QueryNetwork()
+        net.add_box("E", Map(lambda v: dict(v)))
+        net.connect("in:src", "E")
+        net.connect("E", "out:sink")
+        engine = AuroraEngine(net, load_window=0.05)
+        policy = ElasticityPolicy(high_water=0.5, low_water=0.2, cooldown=0.0)
+        controller = ElasticityController(
+            EnginePlane(engine), policy, metrics=engine.metrics
+        )
+        controller.watch("E", ("k",))
+        group = controller.groups["E"]
+        controller.plane.split(group, controller)
+        for i in range(25):
+            engine.push("src", StreamTuple({"k": f"k{i % 5}", "v": i}, timestamp=i * 0.001))
+        for _ in range(3):
+            engine.step()  # populate handle caches for router/replicas
+        engine.run_until_idle()
+        removed = ["E__part", "E__gather", "E__r1"]
+        controller.plane.scale_in(group, controller)  # k=2 -> teardown
+        return engine, removed
+
+    def test_queued_index_has_no_stale_keys_after_merge(self):
+        engine, removed = self.elastic_cycle()
+        assert set(engine.queued_counts) <= set(engine.network.boxes)
+        assert engine.queued_counts == reference_counts(engine.network)
+
+    def test_schedulers_survive_box_removal(self):
+        engine, removed = self.elastic_cycle()
+        for scheduler in (RoundRobinScheduler(), LongestQueueScheduler(), QoSScheduler()):
+            engine.scheduler = scheduler
+            engine.invalidate_caches()
+            engine.push_many("src", make_stream([{"k": "a", "v": 1}] * 3))
+            choice = scheduler.choose(engine)  # no KeyError on removed ids
+            assert choice in engine.network.boxes
+            engine.run_until_idle()
+
+    def test_metric_handle_caches_pruned_to_live_boxes(self):
+        engine, removed = self.elastic_cycle()
+        for cache in (engine._m_box_in, engine._m_box_out, engine._m_decisions):
+            assert set(cache) <= set(engine.network.boxes)
+            for box_id in removed:
+                assert box_id not in cache
+        # The registry keeps the removed boxes' lifetime totals: pruning
+        # drops handles, never history.
+        per_box = engine.metrics.label_values("engine.box.tuples_in", "box")
+        assert per_box.get("E__part", 0) > 0

@@ -340,3 +340,91 @@ class TestSplitEquivalenceRandomized:
             assert totals(split["agg"]) == totals(unsplit["agg"]), (
                 f"run tumble split totals diverged on stream {index}"
             )
+
+
+def group_totals(tuples):
+    agg = {}
+    for t in tuples:
+        agg[t["A"]] = agg.get(t["A"], 0) + t["result"]
+    return agg
+
+
+class TestDistributedSplitEdgeCases:
+    """ISSUE 9 satellite: degenerate key domains, empty partitions, and
+    refusals that must surface through the distributed wrapper without
+    half-mutating the deployment."""
+
+    def deploy(self, net):
+        system = AuroraStarSystem(net)
+        system.add_node("m1")
+        system.add_node("m2")
+        system.deploy_all_on("m1")
+        return system
+
+    def run_split(self, net, predicate, rows, **kwargs):
+        system = self.deploy(net)
+        split_box_distributed(system, "t", predicate, to_node="m2", **kwargs)
+        system.schedule_source("src", make_stream(rows, spacing=0.001))
+        system.run()
+        system.flush()
+        return system
+
+    def test_single_key_domain_split_transparent(self):
+        """Every tuple shares one groupby key: the router cuts straight
+        through the only group's windows, the hardest case for the
+        combine step."""
+        rows = [{"A": 1, "B": i % 7} for i in range(48)]
+        unsplit = execute(tumble_network("sum"), {"src": make_stream(rows)})
+        system = self.run_split(tumble_network("sum"), lambda t: t["B"] < 3, rows)
+        assert group_totals(system.outputs["agg"]) == group_totals(unsplit["agg"])
+
+    def test_hash_assignment_leaves_one_partition_empty(self):
+        """A hash router over a single-key domain sends the entire
+        stream to whichever side owns the key: the other partition
+        processes nothing, yet the merged output is still exact."""
+        from repro.distributed.policy import hash_fraction_predicate
+
+        rows = [{"A": 1, "B": i % 5} for i in range(40)]
+        unsplit = execute(tumble_network("sum"), {"src": make_stream(rows)})
+        predicate = hash_fraction_predicate(0.5, ("A",))
+        system = self.run_split(tumble_network("sum"), predicate, rows)
+        original = system.network.boxes["t"]
+        copy = system.network.boxes["t__copy"]
+        counts = sorted((original.tuples_in, copy.tuples_in))
+        assert counts == [0, len(rows)]
+        assert group_totals(system.outputs["agg"]) == group_totals(unsplit["agg"])
+
+    def test_always_true_predicate_starves_the_copy(self):
+        """``lambda t: True`` keeps everything on the original side; the
+        remote copy never sees a tuple and the merge network must cope
+        with a permanently silent input."""
+        rows = [{"A": (i % 3) + 1, "B": i % 7} for i in range(45)]
+        unsplit = execute(tumble_network("sum"), {"src": make_stream(rows)})
+        system = self.run_split(tumble_network("sum"), lambda t: True, rows)
+        assert system.network.boxes["t__copy"].tuples_in == 0
+        assert system.nodes["m2"].tuples_processed == 0
+        assert group_totals(system.outputs["agg"]) == group_totals(unsplit["agg"])
+
+    def test_nonsplittable_aggregate_raises_through_wrapper(self):
+        """A run-mode Tumble over an aggregate with no combination
+        function (avg) must be refused by the *distributed* entry point
+        too — and the deployment must come out untouched."""
+        system = self.deploy(tumble_network("avg"))
+        with pytest.raises(SplitError, match="combination"):
+            split_box_distributed(system, "t", lambda t: True, to_node="m2")
+        assert set(system.network.boxes) == {"t"}
+        assert system.place("t") == "m1"
+        system.network.validate()
+
+    def test_count_tumble_without_group_stability_raises_through_wrapper(self):
+        net = QueryNetwork()
+        net.add_box(
+            "t",
+            Tumble("sum", groupby=("A",), value_attr="B", mode="count", window_size=3),
+        )
+        net.connect("in:src", "t")
+        net.connect("t", "out:agg")
+        system = self.deploy(net)
+        with pytest.raises(SplitError, match="group-stable"):
+            split_box_distributed(system, "t", lambda t: t["A"] % 2 == 0, to_node="m2")
+        assert set(system.network.boxes) == {"t"}

@@ -81,3 +81,76 @@ def test_run_scenario_parallel_backend_matches_reference():
 def test_run_scenario_rejects_unknown_backend():
     with pytest.raises(ValueError):
         run_scenario("tenant_mix", scale=0.25, backend="quantum")
+
+
+class TestOracleFalsifiability:
+    """`run_dual` itself must fail when one backend lies (ISSUE 9).
+
+    The earlier falsifiability test exercised the comparison helpers;
+    these corrupt what the parallel backend *returns* — one mutated
+    tuple, one dropped counter, one altered counter — and assert the
+    oracle's verdict flips, not just that bags differ.  The real
+    parallel run happens once (cached); each case monkeypatches
+    `run_parallel` to serve a tampered copy.
+    """
+
+    _cache = {}
+
+    @pytest.fixture()
+    def parallel_payload(self):
+        if "payload" not in self._cache:
+            from repro.parallel.oracle import run_parallel
+
+            self._cache["payload"] = run_parallel(
+                "tenant_mix", scale=0.25, seed=0, n_workers=2
+            )
+        return self._cache["payload"]
+
+    def _patched_dual(self, monkeypatch, outputs, boxes, wall):
+        import repro.parallel.oracle as oracle
+
+        monkeypatch.setattr(
+            oracle, "run_parallel", lambda *a, **k: (outputs, boxes, wall)
+        )
+        return oracle.run_dual("tenant_mix", scale=0.25, seed=0, n_workers=2)
+
+    def test_untampered_payload_passes(self, monkeypatch, parallel_payload):
+        outputs, boxes, wall = parallel_payload
+        result = self._patched_dual(monkeypatch, outputs, boxes, wall)
+        assert result.ok, result.summary()
+
+    def test_one_mutated_tuple_fails_the_oracle(self, monkeypatch, parallel_payload):
+        from repro.core.tuples import StreamTuple
+
+        outputs, boxes, wall = parallel_payload
+        stream = next(s for s, v in outputs.items() if v)
+        tampered = {s: list(v) for s, v in outputs.items()}
+        victim = tampered[stream][0]
+        values = dict(victim.values)
+        first = next(iter(values))
+        values[first] = "corrupted"
+        tampered[stream][0] = StreamTuple(values, timestamp=victim.timestamp)
+        result = self._patched_dual(monkeypatch, tampered, boxes, wall)
+        assert not result.ok
+        assert not result.outputs_match
+        assert any(stream in m for m in result.mismatches)
+
+    def test_one_dropped_counter_fails_the_oracle(self, monkeypatch, parallel_payload):
+        outputs, boxes, wall = parallel_payload
+        tampered = dict(boxes)
+        victim = sorted(tampered)[0]
+        del tampered[victim]
+        result = self._patched_dual(monkeypatch, outputs, tampered, wall)
+        assert not result.ok
+        assert not result.counters_match
+        assert any(victim in m for m in result.mismatches)
+
+    def test_one_altered_counter_fails_the_oracle(self, monkeypatch, parallel_payload):
+        outputs, boxes, wall = parallel_payload
+        tampered = {b: dict(c) for b, c in boxes.items()}
+        victim = sorted(tampered)[0]
+        tampered[victim]["tuples_in"] += 1
+        result = self._patched_dual(monkeypatch, outputs, tampered, wall)
+        assert not result.ok
+        assert not result.counters_match
+        assert any(victim in m for m in result.mismatches)

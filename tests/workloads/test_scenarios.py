@@ -194,3 +194,36 @@ class TestScenarioRuns:
         during = [p.queued_work for p in result.timeline.probes
                   if fault.start <= p.time < fault.end + 1.0]
         assert during and max(during) > max(before)
+
+
+class TestElasticFlashCrowd:
+    """The elastic scenario's SLOs must *require* the controller: the
+    identical run with ``elasticity=None`` blows the shed budget."""
+
+    def test_controller_absorbs_the_crowd(self):
+        result = run_scenario(
+            "elastic_flash_crowd", scale=SMOKE_SCALE, seed=SMOKE_SEED
+        )
+        assert result.report.passed, result.summary()["objectives"]
+        assert result.registry.total("elasticity.splits") >= 1
+        assert result.registry.total("elasticity.merges") >= 1
+        # The controller merged all the way back down: no elastic
+        # skeleton left in the network at the end of the run.
+        assert "serve__part" not in result.engine.network.boxes
+        assert "serve__gather" not in result.engine.network.boxes
+
+    def test_shed_budget_fails_without_controller(self):
+        import dataclasses
+
+        scenario = dataclasses.replace(
+            make_scenario("elastic_flash_crowd", scale=SMOKE_SCALE),
+            elasticity=None,
+        )
+        result = ScenarioRunner(scenario, seed=SMOKE_SEED).run()
+        by_name = {obj.slo.name: obj for obj in result.report.objectives}
+        assert not by_name["shed_budget"].passed
+        assert not by_name["scale_out"].passed
+        assert not by_name["scale_in"].passed
+        assert not result.report.passed
+        # The base-provisioned node really did drop crowd traffic.
+        assert result.shed > 0
