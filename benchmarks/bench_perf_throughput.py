@@ -24,6 +24,14 @@ Topologies:
 * ``fusion_columnar`` — the six-stage superbox chain with compiled
   operators: a fused run of N boxes is N masked array ops over one
   columnar train.  Must hold a 4x floor over scalar.
+* ``window_columnar`` — a four-stage compiled stateless chain
+  terminating at a run-mode Tumble with the columnar window kernel:
+  the fused run extends *through* the window tail, so the whole chain
+  is array ops with no materialization barrier at the window.
+  Must hold a 3x floor over the per-tuple reference.  ``--window-xl N``
+  additionally records an informational million-tuple-class row
+  (``window_columnar_xl``): columnar-only throughput at scale with an
+  exact conservation check on the emitted window sums.
 * ``sched_wide`` — CaseFilter fan-out to 24 branches under the
   longest-queue scheduler (exercises the sparse queued-count index).
 * ``transport`` — multiplexed transport shipping one train frame per
@@ -38,7 +46,7 @@ Run standalone to emit ``BENCH_PERF.json``::
 
     PYTHONPATH=src python benchmarks/bench_perf_throughput.py \
         [--tuples N] [--train N] [--repeats N] [--out PATH] [--check] \
-        [--baseline PATH]
+        [--baseline PATH] [--window-xl N]
 
 ``--check`` exits non-zero if any batch path is slower than its scalar
 counterpart, or if the observability layer costs more than 5% of batch
@@ -55,6 +63,8 @@ import gc
 import json
 import sys
 import time
+
+import numpy as np
 
 from repro.core.columnar import ColumnarTrain, col
 from repro.core.engine import AuroraEngine
@@ -181,6 +191,36 @@ def fusion_columnar_network():
     return net, ["sink"]
 
 
+def window_columnar_network():
+    """Compiled stateless stages feeding a run-mode Tumble window.
+
+    The chain mirrors ``fusion_network`` — high-survival filters and
+    projections that keep trains full through every interior arc — but
+    terminates at a stateful Tumble instead of a stateless map.  The
+    Tumble tail ships a columnar window kernel, so superbox compilation
+    extends the fused run *through* it: one claim sweeps the train
+    through the filter masks, the projections, and vectorized
+    run-boundary detection without a materialization barrier at the
+    window.
+    """
+    net = QueryNetwork()
+    net.add_box("f1", Filter(col("A") % 17 != 0, cost_per_tuple=0.0005))
+    net.add_box("m1", columnar_map(
+        {"G": col("G"), "A": col("A") + 1}, cost_per_tuple=0.0005))
+    net.add_box("f2", Filter(col("A") < 17, cost_per_tuple=0.0005))
+    net.add_box("m2", columnar_map(
+        {"G": col("G"), "A": col("A") * 2}, cost_per_tuple=0.0005))
+    net.add_box("w", Tumble("sum", groupby=("G",), value_attr="A",
+                            result_attr="A", cost_per_tuple=0.001))
+    net.connect("in:src", "f1")
+    net.connect("f1", "m1")
+    net.connect("m1", "f2")
+    net.connect("f2", "m2")
+    net.connect("m2", "w")
+    net.connect("w", "out:agg")
+    return net, ["agg"]
+
+
 def wide_sched_network(n_branches: int = 24):
     """A 24-way CaseFilter fan-out: scheduler choice dominated by how
     fast 'which box has the longest queue' can be answered."""
@@ -204,6 +244,14 @@ def wide_sched_network(n_branches: int = 24):
 def make_workload(n_tuples: int):
     return make_stream(
         [{"A": i % 17, "B": (i * 7) % 23} for i in range(n_tuples)], spacing=0.0
+    )
+
+
+def make_window_workload(n_tuples: int):
+    """Grouped workload for the windowed scenarios: key runs of 8 (about
+    7 after the high-survival filters), values cycling 0..16."""
+    return make_stream(
+        [{"G": (i // 8) % 7, "A": i % 17} for i in range(n_tuples)], spacing=0.0
     )
 
 
@@ -563,11 +611,63 @@ def measure_parallel_scale(n_tuples: int, train_size: int, repeats: int):
     }
 
 
+# -- window kernels at scale (informational) ----------------------------------
+
+
+def measure_window_columnar_xl(n_tuples: int, train_size: int):
+    """Columnar window-kernel throughput at scale (informational).
+
+    Trains are built directly as struct-of-arrays (no tuple
+    materialization: at a million rows the list path would dominate the
+    report's memory, and the wire delivers columnar frames anyway), so
+    the timed region is pure engine + kernels.  Correctness is an exact
+    conservation law instead of a scalar twin — every surviving input
+    value lands in exactly one emitted window, so the emitted sums must
+    total the filtered input sum — which keeps the row honest without
+    an hour-long per-tuple reference run.
+    """
+    net, _outputs = window_columnar_network()
+    engine = AuroraEngine(
+        net,
+        train_size=train_size,
+        batch_execution=True,
+        fusion=True,
+        scheduling_overhead=0.002,
+    )
+    trains = []
+    for begin in range(0, n_tuples, train_size):
+        idx = np.arange(begin, min(begin + train_size, n_tuples), dtype=np.int64)
+        trains.append(ColumnarTrain(
+            ("G", "A"),
+            {"G": (idx // 8) % 7, "A": idx % 17},
+            np.zeros(len(idx), dtype=np.float64),
+        ))
+    gc.collect()
+    start = time.perf_counter()
+    for train in trains:
+        engine.push_train("src", train)
+    engine.run_until_idle()
+    engine.flush()
+    elapsed = time.perf_counter() - start
+    emitted_total = sum(t.values["A"] for t in engine.outputs["agg"])
+    all_a = np.arange(n_tuples, dtype=np.int64) % 17
+    survivors = (all_a != 0) & (all_a + 1 < 17)
+    expected_total = int((2 * (all_a + 1) * survivors).sum())
+    return {
+        "informational": True,
+        "tuples": n_tuples,
+        "columnar_tps": round(n_tuples / elapsed),
+        "wall_s": round(elapsed, 4),
+        "windows_emitted": len(engine.outputs["agg"]),
+        "outputs_match": emitted_total == expected_total,
+    }
+
+
 # -- suite --------------------------------------------------------------------
 
 
 def run_suite(n_tuples: int = DEFAULT_TUPLES, train_size: int = DEFAULT_TRAIN,
-              repeats: int = DEFAULT_REPEATS) -> dict:
+              repeats: int = DEFAULT_REPEATS, window_xl: int = 0) -> dict:
     stream = make_workload(n_tuples)
     # A generational collection landing inside a sub-millisecond timed
     # region swings a sample by double digits; collect up front and
@@ -575,12 +675,13 @@ def run_suite(n_tuples: int = DEFAULT_TUPLES, train_size: int = DEFAULT_TRAIN,
     gc.collect()
     gc.disable()
     try:
-        return _run_suite(stream, n_tuples, train_size, repeats)
+        return _run_suite(stream, n_tuples, train_size, repeats, window_xl)
     finally:
         gc.enable()
 
 
-def _run_suite(stream, n_tuples: int, train_size: int, repeats: int) -> dict:
+def _run_suite(stream, n_tuples: int, train_size: int, repeats: int,
+               window_xl: int = 0) -> dict:
     def fresh(measure, *args, **kwargs):
         # With the collector paused, garbage from earlier scenarios
         # accumulates and drifts the later (and smallest) timed
@@ -618,6 +719,10 @@ def _run_suite(stream, n_tuples: int, train_size: int, repeats: int) -> dict:
                 measure_columnar, fusion_columnar_network, stream,
                 train_size, repeats,
             ),
+            "window_columnar": fresh(
+                measure_columnar, window_columnar_network,
+                make_window_workload(n_tuples), train_size, repeats,
+            ),
             "sched_wide": fresh(
                 measure_engine, wide_sched_network, stream, train_size, repeats,
                 scheduler="longest_queue",
@@ -631,6 +736,10 @@ def _run_suite(stream, n_tuples: int, train_size: int, repeats: int) -> dict:
             ),
         },
     }
+    if window_xl > 0:
+        report["results"]["window_columnar_xl"] = fresh(
+            measure_window_columnar_xl, window_xl, train_size
+        )
     return report
 
 
@@ -653,6 +762,12 @@ def print_report(report: dict, file=None) -> None:
         print(f"  obs layer  {obs['disabled_tps']:12,d} (off) "
               f"{obs['enabled_tps']:,d} (on)  "
               f"{obs['ratio'] * 100:.1f}% throughput retained", file=out)
+    xl = report["results"].get("window_columnar_xl")
+    if xl:
+        match = "conserved" if xl.get("outputs_match") else "DIVERGED"
+        print(f"  window kernels at scale  {xl['tuples']:,d} tuples  "
+              f"{xl['columnar_tps']:,d} tps  {xl['windows_emitted']:,d} windows "
+              f"(informational)  {match}", file=out)
     scale = report["results"].get("parallel_scale")
     if scale:
         match = "identical" if scale.get("outputs_match") else "DIVERGED"
@@ -671,6 +786,7 @@ FUSION_SPEEDUP_FLOOR = 1.3
 COLUMNAR_SPEEDUP_FLOORS = {
     "pipeline_columnar": 5.0,
     "fusion_columnar": 4.0,
+    "window_columnar": 3.0,
 }
 
 
@@ -857,6 +973,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", default=None,
                         help="committed BENCH_PERF.json to compare "
                              "speedups against under --check")
+    parser.add_argument("--window-xl", type=int, default=0, metavar="N",
+                        help="also record the informational "
+                             "window_columnar_xl row over N tuples "
+                             "(nightly runs a million)")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -864,7 +984,8 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.baseline) as handle:
             baseline = json.load(handle)
 
-    report = run_suite(args.tuples, args.train, args.repeats)
+    report = run_suite(args.tuples, args.train, args.repeats,
+                       window_xl=args.window_xl)
     print_report(report)
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -11,11 +11,43 @@ The paper's examples: if ``agg`` is ``cnt`` then ``combine`` is ``sum``;
 if ``agg`` is ``max`` then ``combine`` is ``max``.  Aggregates without a
 combination function (e.g. a plain average over the raw values) cannot
 be split transparently; :mod:`repro.distributed.splitting` refuses them.
+
+Segment kernels
+---------------
+
+The columnar window kernels (``Tumble.process_columnar`` and friends)
+evaluate an aggregate over *segments* of a column instead of folding
+``update`` one Python value at a time.  Each built-in aggregate
+registers two optional kernels next to its scalar definition:
+
+* ``segment_kernel(column, starts, ends)`` — finalized results for
+  complete windows ``[starts[i], ends[i])``, or None to decline (the
+  caller then runs the exact object-dtype fallback);
+* ``fold_kernel(state, column, start, end)`` — fold one segment into an
+  *open* window state, or :data:`DECLINED`.
+
+The contract is the scalar one, bit for bit: for float columns, sums
+use strictly sequential ``np.add.accumulate`` chains (``np.add.reduceat``
+is pairwise above its block size and therefore inexact), max/min are
+pure selection, and counts never touch the values.  The two documented
+divergences are shared with the compiled expression language: int64
+sums wrap where Python ints would grow, and ``avg`` quotients of sums
+beyond 2**53 round the operands first.  Aggregates whose values or
+states are not flat numerics (``pair_sum``) simply carry no kernels and
+always take the exact fallback.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+#: Sentinel returned by a fold kernel that cannot handle the column
+#: dtype (None is a legitimate aggregate state, e.g. for max/min).
+DECLINED = object()
+
+_FAST_KINDS = frozenset("ifb")
 
 
 class AggregateFunction:
@@ -28,6 +60,12 @@ class AggregateFunction:
         result: ``result(state) -> value`` finalizes a window.
         combiner_name: name of the aggregate that merges partial
             *results* of this aggregate, or None if not splittable.
+        segment_kernel: optional vectorized evaluator for complete
+            windows over a column (see module docstring); None means
+            the exact fallback is always used.
+        fold_kernel: optional vectorized fold of one column segment
+            into an open window state; returns :data:`DECLINED` to
+            defer to the exact fallback.
     """
 
     def __init__(
@@ -37,12 +75,16 @@ class AggregateFunction:
         update: Callable[[Any, Any], Any],
         result: Callable[[Any], Any],
         combiner_name: str | None = None,
+        segment_kernel: Callable[[np.ndarray, np.ndarray, np.ndarray], Any] | None = None,
+        fold_kernel: Callable[[Any, np.ndarray, int, int], Any] | None = None,
     ):
         self.name = name
         self.initial = initial
         self.update = update
         self.result = result
         self.combiner_name = combiner_name
+        self.segment_kernel = segment_kernel
+        self.fold_kernel = fold_kernel
 
     @property
     def splittable(self) -> bool:
@@ -70,6 +112,213 @@ class AggregateFunction:
         return f"AggregateFunction({self.name})"
 
 
+def segment_results(
+    agg: AggregateFunction,
+    column: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> Sequence[Any] | np.ndarray:
+    """Finalized results of the complete windows ``[starts[i], ends[i])``.
+
+    Dispatches to the aggregate's segment kernel when it accepts the
+    column dtype; otherwise folds ``update`` over the exact Python
+    values, so results always match the per-tuple loop.  ``starts`` and
+    ``ends`` must be equal-length int arrays with ``starts[i] < ends[i]``.
+    """
+    kernel = agg.segment_kernel
+    if kernel is not None:
+        out = kernel(column, starts, ends)
+        if out is not None:
+            return out
+    values = column.tolist()
+    initial, update, result = agg.initial, agg.update, agg.result
+    out_list = []
+    for a, b in zip(starts.tolist(), ends.tolist()):
+        state = initial()
+        for v in values[a:b]:
+            state = update(state, v)
+        out_list.append(result(state))
+    return out_list
+
+
+def segment_fold(
+    agg: AggregateFunction,
+    state: Any,
+    column: np.ndarray,
+    start: int,
+    end: int,
+) -> Any:
+    """Fold ``column[start:end]`` into an open window state, exactly.
+
+    Used for the carried (open) window at segment boundaries; the empty
+    segment returns ``state`` untouched (no dtype coercion).
+    """
+    if start >= end:
+        return state
+    kernel = agg.fold_kernel
+    if kernel is not None:
+        out = kernel(state, column, start, end)
+        if out is not DECLINED:
+            return out
+    update = agg.update
+    for v in column[start:end].tolist():
+        state = update(state, v)
+    return state
+
+
+def _pyval(v: Any) -> Any:
+    return v.item() if isinstance(v, np.generic) else v
+
+
+def _seg_cnt(column: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> Any:
+    return ends - starts
+
+
+def _int_segment_sums(column: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    # Exact for ints modulo the documented int64 wraparound: a cumsum
+    # difference and the sequential fold agree two's-complement-wise.
+    cs = np.cumsum(column, dtype=np.int64)
+    totals = cs[ends - 1]
+    return totals - np.where(starts > 0, cs[starts - 1], 0)
+
+
+def _seg_sum(column: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> Any:
+    kind = column.dtype.kind
+    if kind in "ib":
+        return _int_segment_sums(column, starts, ends)
+    if kind == "f":
+        # np.add.reduceat switches to pairwise summation above its block
+        # size, which is NOT bit-identical to the scalar left fold; a
+        # per-segment accumulate chain is (0.0 + v == v for the seed).
+        acc = np.add.accumulate
+        return [
+            float(acc(column[a:b])[-1])
+            for a, b in zip(starts.tolist(), ends.tolist())
+        ]
+    return None
+
+
+def _selection_hazard(seg: np.ndarray) -> bool:
+    """True when numpy min/max may not match Python's left-fold pick.
+
+    Python's ``min``/``max`` keep the *first* of tied values, which is
+    observable for ``-0.0`` vs ``0.0`` (``repr`` differs), and ignore
+    NaN ordering entirely (a NaN never displaces the running value);
+    numpy's reductions make no such promises.  Both are float-only.
+    """
+    if seg.dtype.kind != "f":
+        return False
+    return bool(np.isnan(seg).any() or np.any(np.signbit(seg) & (seg == 0.0)))
+
+
+def _selection_kernel(ufunc: Any, method: str) -> Callable[..., Any]:
+    def kernel(column: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> Any:
+        if column.dtype.kind not in "ifb":
+            return None
+        lo, hi = int(starts[0]), int(ends[-1])
+        if _selection_hazard(column[lo:hi]):
+            return None
+        if len(starts) == 1 or np.array_equal(starts[1:], ends[:-1]):
+            # Contiguous segments: one reduceat over the covered slice.
+            # Selection (max/min) is order-free, so reduceat is exact.
+            return ufunc.reduceat(column[lo:hi], starts - lo)
+        return [
+            getattr(column[a:b], method)()
+            for a, b in zip(starts.tolist(), ends.tolist())
+        ]
+
+    return kernel
+
+
+_seg_max = _selection_kernel(np.maximum, "max")
+_seg_min = _selection_kernel(np.minimum, "min")
+
+
+def _seg_first(column: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> Any:
+    # Scalar `first` skips None values; only dtypes that cannot hold
+    # None make the positional first exact.
+    if column.dtype.kind not in "ifb":
+        return None
+    return column[starts]
+
+
+def _seg_last(column: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> Any:
+    return column[ends - 1]
+
+
+def _seg_avg(column: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> Any:
+    sums = _seg_sum(column, starts, ends)
+    if sums is None:
+        return None
+    return np.asarray(sums, dtype=np.float64) / (ends - starts)
+
+
+def _seg_avg_partial(column: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> Any:
+    sums = _seg_sum(column, starts, ends)
+    if sums is None:
+        return None
+    if isinstance(sums, np.ndarray):
+        sums = sums.tolist()
+    return list(zip(sums, (ends - starts).tolist()))
+
+
+def _fold_cnt(state: Any, column: np.ndarray, start: int, end: int) -> Any:
+    return state + (end - start)
+
+
+def _fold_sum(state: Any, column: np.ndarray, start: int, end: int) -> Any:
+    kind = column.dtype.kind
+    if kind in "ib" and type(state) is int:
+        # Python-int state + int column: the sequential fold is a plain
+        # integer sum (int64 wrap is the shared documented divergence).
+        return state + int(column[start:end].sum())
+    if kind in "ifb":
+        # Float anywhere in the chain: replay the exact left fold.
+        seg = column[start:end]
+        chain = np.empty(len(seg) + 1, dtype=np.float64)
+        chain[0] = state
+        chain[1:] = seg
+        np.add.accumulate(chain, out=chain)
+        return float(chain[-1])
+    return DECLINED
+
+
+def _fold_selection(pick: Callable[[Any, Any], Any], method: str) -> Callable[..., Any]:
+    def kernel(state: Any, column: np.ndarray, start: int, end: int) -> Any:
+        if column.dtype.kind not in "ifb":
+            return DECLINED
+        seg = column[start:end]
+        if _selection_hazard(seg):
+            return DECLINED
+        best = getattr(seg, method)().item()
+        if state is None:
+            return best
+        return pick(state, best)
+
+    return kernel
+
+
+_fold_max = _fold_selection(max, "max")
+_fold_min = _fold_selection(min, "min")
+
+
+def _fold_first(state: Any, column: np.ndarray, start: int, end: int) -> Any:
+    if column.dtype.kind not in "ifb":
+        return DECLINED
+    return _pyval(column[start]) if state is None else state
+
+
+def _fold_last(state: Any, column: np.ndarray, start: int, end: int) -> Any:
+    return _pyval(column[end - 1])
+
+
+def _fold_avg(state: Any, column: np.ndarray, start: int, end: int) -> Any:
+    s = _fold_sum(state[0], column, start, end)
+    if s is DECLINED:
+        return DECLINED
+    return (s, state[1] + (end - start))
+
+
 def _make_registry() -> dict[str, AggregateFunction]:
     def identity(x: Any) -> Any:
         return x
@@ -82,6 +331,8 @@ def _make_registry() -> dict[str, AggregateFunction]:
         update=lambda s, _v: s + 1,
         result=identity,
         combiner_name="sum",  # paper: "if agg is cnt, combine is sum"
+        segment_kernel=_seg_cnt,
+        fold_kernel=_fold_cnt,
     )
     registry["sum"] = AggregateFunction(
         "sum",
@@ -89,6 +340,8 @@ def _make_registry() -> dict[str, AggregateFunction]:
         update=lambda s, v: s + v,
         result=identity,
         combiner_name="sum",
+        segment_kernel=_seg_sum,
+        fold_kernel=_fold_sum,
     )
     registry["max"] = AggregateFunction(
         "max",
@@ -96,6 +349,8 @@ def _make_registry() -> dict[str, AggregateFunction]:
         update=lambda s, v: v if s is None else max(s, v),
         result=identity,
         combiner_name="max",  # paper: "if agg is max, then combine is max also"
+        segment_kernel=_seg_max,
+        fold_kernel=_fold_max,
     )
     registry["min"] = AggregateFunction(
         "min",
@@ -103,6 +358,8 @@ def _make_registry() -> dict[str, AggregateFunction]:
         update=lambda s, v: v if s is None else min(s, v),
         result=identity,
         combiner_name="min",
+        segment_kernel=_seg_min,
+        fold_kernel=_fold_min,
     )
     # avg finalizes (sum, cnt) -> sum/cnt.  Its *final* results cannot be
     # combined without the counts, so it carries no combiner: a Tumble(avg)
@@ -113,6 +370,8 @@ def _make_registry() -> dict[str, AggregateFunction]:
         update=lambda s, v: (s[0] + v, s[1] + 1),
         result=lambda s: s[0] / s[1] if s[1] else None,
         combiner_name=None,
+        segment_kernel=_seg_avg,
+        fold_kernel=_fold_avg,
     )
     # Splittable form of average: emits (sum, cnt) pairs, which the
     # matching combiner merges component-wise; a downstream Map divides.
@@ -122,6 +381,8 @@ def _make_registry() -> dict[str, AggregateFunction]:
         update=lambda s, v: (s[0] + v, s[1] + 1),
         result=identity,
         combiner_name="pair_sum",
+        segment_kernel=_seg_avg_partial,
+        fold_kernel=_fold_avg,
     )
     registry["pair_sum"] = AggregateFunction(
         "pair_sum",
@@ -136,6 +397,8 @@ def _make_registry() -> dict[str, AggregateFunction]:
         update=lambda s, v: v if s is None else s,
         result=identity,
         combiner_name="first",
+        segment_kernel=_seg_first,
+        fold_kernel=_fold_first,
     )
     registry["last"] = AggregateFunction(
         "last",
@@ -143,6 +406,8 @@ def _make_registry() -> dict[str, AggregateFunction]:
         update=lambda _s, v: v,
         result=identity,
         combiner_name="last",
+        segment_kernel=_seg_last,
+        fold_kernel=_fold_last,
     )
     return registry
 

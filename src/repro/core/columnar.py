@@ -19,7 +19,7 @@ only at barriers:
 ========================  =====================================================
 barrier                   where the train is materialized
 ========================  =====================================================
-windowed / stateful box   engine claim (``Tumble``, ``Join``, ``WSort``, ...)
+join / opaque stateful    engine claim (``Join``, ``XSection``, user operators)
 opaque operator           engine claim (plain-lambda Filter/Map/CaseFilter)
 connection point          emit (history recording is per-tuple)
 shedder                   ingestion (`admit` is a per-tuple decision)
@@ -28,6 +28,12 @@ fan-in with mixed queues  claim (plain tuples and segments interleaved)
 the wire                  :meth:`ColumnarTrain.to_tuples` on serialization
 application outputs       lazily, on first read of the output buffer
 ========================  =====================================================
+
+Windowed boxes (``Tumble``, ``Slide``, ``WSort``) are *not* barriers:
+they ship ``process_columnar`` window kernels (run-boundary masks,
+grouped segment reductions via :mod:`repro.core.aggregates` segment
+kernels) and fall back to the exact list path per claim only when a
+train carries lineage/trace metadata or ungroupable key columns.
 
 Expression semantics: a :class:`ColumnExpr` is *callable on a single
 tuple* (the scalar path evaluates it exactly like the closure it
@@ -84,7 +90,15 @@ def as_column(values: Sequence[Any]) -> np.ndarray:
     except (ValueError, OverflowError):
         arr = None
     if arr is not None and arr.dtype.kind in _FAST_KINDS and arr.ndim == 1:
-        return arr
+        if len(values) == 0:
+            return arr
+        # Native dtypes only for *uniform* Python types: numpy would
+        # happily promote [1, 2.5] to float64 (or [1, True] to int64),
+        # and materialization must hand back the exact objects that
+        # went in — 1, not 1.0.
+        t = type(values[0])
+        if all(type(v) is t for v in values):
+            return arr
     boxed = np.empty(len(values), dtype=object)
     boxed[:] = values
     return boxed
@@ -334,6 +348,31 @@ class ColumnarTrain:
     def materialized(self) -> bool:
         """True once :meth:`to_tuples` has run (cache present)."""
         return self._tuples is not None
+
+    def tuple_at(self, index: int) -> StreamTuple:
+        """Materialize a single row (window kernels keep one open tuple).
+
+        Produces exactly the tuple ``to_tuples()[index]`` would, without
+        materializing the rest of the train; uses the cache when present.
+        """
+        if self._tuples is not None:
+            return self._tuples[index]
+        values = {}
+        for f in self.fields:
+            col = self.columns[f]
+            v = col[index]
+            values[f] = v.item() if col.dtype.kind != "O" else v
+        seq = origin = None
+        if self.seqs is not None:
+            v = self.seqs[index]
+            seq = v.item() if isinstance(v, np.generic) else v
+        if self.origins is not None:
+            v = self.origins[index]
+            origin = v.item() if isinstance(v, np.generic) else v
+        return StreamTuple.from_parts(
+            values, float(self.timestamps[index]), seq, origin,
+            self.traces.get(index),
+        )
 
     def __iter__(self) -> Iterator[StreamTuple]:
         return iter(self.to_tuples())
@@ -728,3 +767,73 @@ def sequential_sum(values: np.ndarray) -> float:
 def running_max(start: float, values: np.ndarray) -> np.ndarray:
     """The running values of ``x = max(x, v)`` — exact (pure selection)."""
     return np.maximum.accumulate(np.maximum(values, start))
+
+
+# -- window-kernel helpers ----------------------------------------------------
+
+
+def group_rows(
+    columns: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Stable grouping of row indices by key columns.
+
+    Returns ``(order, starts, ends)``: ``order`` is a stable permutation
+    putting equal keys adjacent (arrival order preserved within a
+    group), and group k covers ``order[starts[k]:ends[k]]``.  Returns
+    None when the columns cannot be grouped vectorized — a single
+    object column with unsortable values, or multi-column keys with any
+    object column — in which case the caller falls back to the exact
+    dict-keyed path.
+
+    Grouping equality follows NumPy value comparison, which matches
+    Python dict-key semantics for the supported dtypes (``1 == True ==
+    1.0`` collapse the same way in both worlds).
+    """
+    n = len(columns[0])
+    if len(columns) == 1:
+        try:
+            _, inverse = np.unique(columns[0], return_inverse=True)
+        except TypeError:
+            return None
+    else:
+        if any(c.dtype.kind == "O" for c in columns):
+            return None
+        stacked = np.stack(columns, axis=1)
+        _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    order = np.argsort(inverse, kind="stable")
+    sorted_inv = inverse[order]
+    bounds = np.flatnonzero(sorted_inv[1:] != sorted_inv[:-1]) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [n]))
+    return order, starts, ends
+
+
+def emissions_to_trains(
+    emissions: Sequence[tuple[int, StreamTuple]],
+) -> list[tuple[int, ColumnarTrain]]:
+    """Re-encode list-path emissions as per-port columnar trains.
+
+    The internal fallback of a windowed ``process_columnar``: the exact
+    per-tuple path runs, then consecutive same-schema runs on each port
+    are packed back into trains so downstream boxes keep their columnar
+    fast path.  Per-port emission order is preserved (the engine's
+    claim accounting concatenates segments per port anyway).
+    """
+    per_port: dict[int, list[StreamTuple]] = {}
+    for port, tup in emissions:
+        per_port.setdefault(port, []).append(tup)
+    out: list[tuple[int, ColumnarTrain]] = []
+    for port in sorted(per_port):
+        tuples = per_port[port]
+        i = 0
+        while i < len(tuples):
+            keys = tuples[i].values.keys()
+            j = i + 1
+            while j < len(tuples) and tuples[j].values.keys() == keys:
+                j += 1
+            train = ColumnarTrain.from_tuples(tuples[i:j])
+            assert train is not None  # uniform schema by construction
+            out.append((port, train))
+            i = j
+    return out

@@ -15,6 +15,11 @@ Eligibility (where a run stops):
 * only ``fusable`` operators with ``arity == 1`` and no cross-tuple
   state may be members; a multi-output member (CaseFilter, Filter with
   a false port) can only be the *tail* of its run;
+* a stateful *windowed* operator with a columnar kernel (Tumble, Slide,
+  WSort — ``supports_columnar`` and ``arity == 1``) may terminate a run
+  as its tail: the window state lives in the ground-truth operator, so
+  defusion still needs no hand-back, and a claimed train reaches the
+  window kernel without materializing on an interior arc;
 * fan-out (an output port feeding several arcs) and fan-in (Union,
   Join) break the run;
 * arcs bearing a connection point are never interior — ad-hoc queries
@@ -292,6 +297,44 @@ def _fusable_link(
     return succ
 
 
+def _window_tail(
+    network: QueryNetwork,
+    box: Box,
+    same_node: SameNode | None,
+    protect: frozenset[str],
+) -> Box | None:
+    """A stateful windowed-kernel successor that may terminate the run.
+
+    Mirrors :func:`_fusable_link`'s arc checks (single output arc, no
+    connection point, no queued backlog, same node) but accepts a
+    stateful single-input successor that ships its own columnar window
+    kernel — it becomes the run's tail and the run stops there.
+    """
+    if box.operator.n_outputs != 1:
+        return None
+    arcs = box.output_arcs.get(0, [])
+    if len(arcs) != 1:
+        return None
+    arc = arcs[0]
+    if arc.connection_point is not None or arc.queue:
+        return None
+    kind, _ref = arc.target
+    if kind == "out":
+        return None
+    succ = network.boxes[str(kind)]
+    operator = succ.operator
+    if (
+        not operator.stateful
+        or operator.arity != 1
+        or not operator.supports_columnar
+        or succ.id in protect
+    ):
+        return None
+    if same_node is not None and not same_node(box.id, succ.id):
+        return None
+    return succ
+
+
 def _upstream_member(
     network: QueryNetwork,
     box: Box,
@@ -339,6 +382,12 @@ def find_runs(
                 break
             run.append(succ.id)
             current = succ
+        # A trailing windowed kernel (stateful, columnar-capable) may
+        # close the run; _window_tail rejects multi-output last members
+        # (those already ended the run as its tail).
+        tail = _window_tail(network, current, same_node, protect)
+        if tail is not None and tail.id not in assigned:
+            run.append(tail.id)
         if len(run) >= 2:
             runs.append(run)
             assigned.update(run)

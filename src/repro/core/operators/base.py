@@ -74,10 +74,15 @@ class Operator:
     def supports_columnar(self) -> bool:
         """True when :meth:`process_columnar` can run this operator.
 
-        Requires a *compiled* configuration (declarative predicates and
-        map bodies from :mod:`repro.core.columnar`); opaque lambdas and
-        stateful operators return False and the engine materializes the
-        train at the claim — the operator never sees a ColumnarTrain.
+        Stateless operators require a *compiled* configuration
+        (declarative predicates and map bodies from
+        :mod:`repro.core.columnar`).  Windowed operators (Tumble, Slide,
+        WSort) ship columnar window kernels and return True — they may
+        still materialize *internally* per claim for metadata-carrying
+        trains, repacking emissions into trains.  Opaque lambdas and the
+        remaining stateful operators return False and the engine
+        materializes the train at the claim — the operator never sees a
+        ColumnarTrain.
         """
         return False
 

@@ -21,11 +21,133 @@ different groups open concurrently.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable, Sequence
 
-from repro.core.aggregates import AggregateFunction, get_aggregate
-from repro.core.operators.base import Emission, Operator
+import numpy as np
+
+from repro.core.aggregates import (
+    AggregateFunction,
+    get_aggregate,
+    segment_fold,
+    segment_results,
+)
+from repro.core.columnar import (
+    ColumnarTrain,
+    as_column,
+    emissions_to_trains,
+    group_rows,
+)
+from repro.core.operators.base import Emission, Operator, TrainEmission
 from repro.core.tuples import StreamTuple, key_getter
+
+
+def _col_pyval(col: np.ndarray, i: int) -> Any:
+    """One column element as the Python value ``tolist()`` would yield."""
+    v = col[i]
+    return v.item() if col.dtype.kind != "O" else v
+
+
+def _prepend_row(
+    row: StreamTuple,
+    key_cols: dict[str, np.ndarray],
+    results: Sequence[Any] | np.ndarray,
+    timestamps: np.ndarray,
+) -> tuple[dict[str, np.ndarray], Sequence[Any] | np.ndarray, np.ndarray] | None:
+    """Fold one leading emission row into the block that follows it.
+
+    Returns the widened ``(key_cols, results, timestamps)``, or None
+    when the row carries lineage/trace metadata or any value would
+    change column dtype under concatenation (a dtype change would alter
+    the materialized Python types, which must stay byte-identical to
+    the scalar path's per-tuple emissions).
+    """
+    if row.seq is not None or row.origin is not None or row.trace is not None:
+        return None
+    values = row.values
+    fields = list(values)
+    result_value = values[fields[-1]]  # result_attr is always last
+    if isinstance(results, np.ndarray):
+        head = as_column([result_value])
+        if head.dtype != results.dtype:
+            return None
+        merged_results: Sequence[Any] | np.ndarray = np.concatenate(
+            [head, results]
+        )
+    else:
+        # List results go through as_column in add_block, which boxes
+        # type-mixed values rather than promoting — always exact.
+        merged_results = [result_value, *results]
+    merged_cols: dict[str, np.ndarray] = {}
+    for field, column in key_cols.items():
+        head = as_column([values[field]])
+        if head.dtype != column.dtype:
+            return None
+        merged_cols[field] = np.concatenate([head, column])
+    merged_ts = np.concatenate(([row.timestamp], timestamps))
+    return merged_cols, merged_results, merged_ts
+
+
+class _WindowEmissions:
+    """Ordered collector of window-kernel emissions, packed into trains.
+
+    Vectorized paths append whole column blocks; carried-state closures
+    and timeout flushes append individual :class:`StreamTuple` rows.
+    Consecutive rows are packed into one train, so a claim's output is
+    a short list of trains in exact emission order.
+    """
+
+    __slots__ = ("_fields", "_result_attr", "_trains", "_rows")
+
+    def __init__(self, groupby: tuple[str, ...], result_attr: str):
+        self._fields = (*groupby, result_attr)
+        self._result_attr = result_attr
+        self._trains: list[ColumnarTrain] = []
+        self._rows: list[StreamTuple] = []
+
+    def add_tuple(self, tup: StreamTuple) -> None:
+        self._rows.append(tup)
+
+    def add_emissions(self, emissions: Iterable[Emission]) -> None:
+        for _port, tup in emissions:
+            self._rows.append(tup)
+
+    def _flush_rows(self) -> None:
+        rows = self._rows
+        if not rows:
+            return
+        self._rows = []
+        if all(t.seq is None and t.origin is None and t.trace is None
+               for t in rows):
+            # Window emissions are built by derive() with exactly these
+            # fields, so the train can be assembled directly — cheaper
+            # than from_tuples' schema scan for the tiny carried-closure
+            # trains this collector mostly sees.
+            fields = self._fields
+            columns = {f: as_column([t.values[f] for t in rows]) for f in fields}
+            timestamps = np.asarray([t.timestamp for t in rows], dtype=np.float64)
+            self._trains.append(ColumnarTrain(fields, columns, timestamps))
+            return
+        train = ColumnarTrain.from_tuples(rows)
+        assert train is not None  # window emissions share one schema
+        self._trains.append(train)
+
+    def add_block(
+        self,
+        key_columns: dict[str, np.ndarray],
+        results: Sequence[Any] | np.ndarray,
+        timestamps: np.ndarray,
+    ) -> None:
+        self._flush_rows()
+        columns = dict(key_columns)
+        if isinstance(results, np.ndarray) and results.ndim == 1:
+            columns[self._result_attr] = results
+        else:
+            columns[self._result_attr] = as_column(list(results))
+        self._trains.append(ColumnarTrain(self._fields, columns, timestamps))
+
+    def trains(self) -> list[TrainEmission]:
+        self._flush_rows()
+        return [(0, t) for t in self._trains]
 
 
 class Tumble(Operator):
@@ -181,6 +303,193 @@ class Tumble(Operator):
         self._last_arrival = tuples[-1].timestamp
         self.windows_emitted += emitted
         return emissions
+
+    # -- columnar window kernel (no materialization barrier) ----------------
+
+    @property
+    def supports_columnar(self) -> bool:
+        return True
+
+    def process_columnar(self, train: ColumnarTrain, port: int = 0) -> list[TrainEmission]:
+        """Vectorized window evaluation over a columnar train.
+
+        Run mode finds window boundaries with a key-change mask over the
+        groupby columns; count mode groups rows per key and closes
+        windows at counted offsets.  Open windows carry across claims as
+        the exact scalar state (``_run_*`` / ``_windows``), so results
+        are bit-identical to the per-tuple loop, including the timeout
+        rule: the train is split at every inter-arrival gap >= timeout
+        and ``_fire_timeouts`` runs between the chunks.
+
+        Trains carrying lineage or trace metadata, and count-mode claims
+        whose key columns cannot be grouped vectorized, take the exact
+        list path internally and re-pack the emissions into trains.
+        """
+        if port != 0:
+            raise ValueError(f"Tumble has a single input port, got {port}")
+        n = len(train)
+        if n == 0:
+            return []
+        if train.seqs is not None or train.origins is not None or train.traces:
+            return emissions_to_trains(self.process_batch(train.to_tuples(), port=port))
+        out = _WindowEmissions(self.groupby, self.result_attr)
+        ts = train.timestamps
+        chunks = [0]
+        if self.timeout != float("inf") and n > 1:
+            chunks += (np.flatnonzero(np.diff(ts) >= self.timeout) + 1).tolist()
+        chunks.append(n)
+        for ci in range(len(chunks) - 1):
+            a, b = chunks[ci], chunks[ci + 1]
+            out.add_emissions(self._fire_timeouts(float(ts[a])))
+            if self.mode == "run":
+                self._columnar_run(train, a, b, out)
+            else:
+                if not self._columnar_count(train, a, b, out):
+                    sub = train.slice(a, b)
+                    out.add_emissions(self.process_batch(sub.to_tuples(), port=0))
+                    continue  # the list path updated _last_arrival itself
+            self._last_arrival = float(ts[b - 1])
+        return out.trains()
+
+    def _columnar_run(
+        self, train: ColumnarTrain, a: int, b: int, out: _WindowEmissions
+    ) -> None:
+        """Run-mode kernel over rows [a, b) (no timeout gap inside)."""
+        cols = [train.columns[g][a:b] for g in self.groupby]
+        vals = train.columns[self.value_attr][a:b]
+        m = b - a
+        if m > 1:
+            change = np.asarray(cols[0][1:] != cols[0][:-1], dtype=bool)
+            for c in cols[1:]:
+                change |= np.asarray(c[1:] != c[:-1], dtype=bool)
+            bounds = np.flatnonzero(change) + 1
+        else:
+            bounds = np.empty(0, dtype=np.intp)
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [m]))
+        k = len(starts)
+        agg = self.agg
+        idx = 0
+        closure = None
+        if self._run_key is not None:
+            first_key = tuple(_col_pyval(c, 0) for c in cols)
+            if first_key == self._run_key:
+                # The carried open window extends through run 0.
+                self._run_state = segment_fold(
+                    agg, self._run_state, vals, 0, int(ends[0])
+                )
+                if k == 1:
+                    return  # still open; _run_first/_run_deps unchanged
+                closure = self._emit_run()
+                idx = 1
+            else:
+                closure = self._emit_run()
+        # Interior complete runs close when the next run starts.
+        if k - 1 > idx:
+            c_starts = starts[idx:k - 1]
+            results = segment_results(agg, vals, c_starts, ends[idx:k - 1])
+            key_cols = {g: c[c_starts] for g, c in zip(self.groupby, cols)}
+            timestamps = train.timestamps[a:b][c_starts]
+            if closure is not None:
+                merged = _prepend_row(closure, key_cols, results, timestamps)
+                if merged is None:
+                    out.add_tuple(closure)
+                else:
+                    key_cols, results, timestamps = merged
+                closure = None
+            out.add_block(key_cols, results, timestamps)
+            self.windows_emitted += k - 1 - idx
+        elif closure is not None:
+            out.add_tuple(closure)
+        # The trailing run stays open.
+        s_last = int(starts[-1])
+        self._run_key = tuple(_col_pyval(c, s_last) for c in cols)
+        self._run_state = segment_fold(agg, agg.initial(), vals, s_last, m)
+        self._run_first = train.tuple_at(a + s_last)
+        self._run_deps = {}
+
+    def _columnar_count(
+        self, train: ColumnarTrain, a: int, b: int, out: _WindowEmissions
+    ) -> bool:
+        """Count-mode kernel over rows [a, b); False if keys are ungroupable."""
+        cols = [train.columns[g][a:b] for g in self.groupby]
+        grouped = group_rows(cols)
+        if grouped is None:
+            return False
+        order, gstarts, gends = grouped
+        vals = train.columns[self.value_attr][a:b]
+        agg = self.agg
+        ws = self.window_size or 1
+        windows = self._windows
+        groupby = self.groupby
+        result_attr = self.result_attr
+        svals = vals[order]
+        # (chunk position of the closing row, emission) — sorted at the
+        # end so emissions interleave across groups in arrival order.
+        pending: list[tuple[int, StreamTuple]] = []
+        # (chunk position of the opening row, key, entry) — applied in
+        # that order so new dict keys land where the scalar per-tuple
+        # loop would insert them (snapshots compare byte-identical).
+        inserts: list[tuple[int, tuple, tuple]] = []
+        for gi in range(len(gstarts)):
+            gs, ge = int(gstarts[gi]), int(gends[gi])
+            rows = order[gs:ge]
+            key = tuple(_col_pyval(c, int(rows[0])) for c in cols)
+            entry = windows.get(key)
+            if entry is None:
+                state, count, first, deps = agg.initial(), 0, None, {}
+            else:
+                state, count, first, deps = entry
+            gm = ge - gs
+            first_close = ws - count - 1
+            if first_close >= gm:
+                # Window stays open through this chunk.
+                state = segment_fold(agg, state, svals, gs, ge)
+                if entry is None:
+                    first = train.tuple_at(a + int(rows[0]))
+                    inserts.append((int(rows[0]), key, (state, gm, first, deps)))
+                else:
+                    windows[key] = (state, count + gm, first, deps)
+                continue
+            # The window closing first continues the carried state.
+            state = segment_fold(agg, state, svals, gs, gs + first_close + 1)
+            if first is None:
+                first = train.tuple_at(a + int(rows[0]))
+            values = dict(zip(groupby, key))
+            values[result_attr] = agg.result(state)
+            pending.append((int(rows[first_close]), first.derive(values)))
+            windows.pop(key, None)
+            # Fresh complete windows, one segment reduction for all.
+            n_fresh = (gm - first_close - 1) // ws
+            if n_fresh:
+                f_starts = gs + first_close + 1 + ws * np.arange(n_fresh)
+                results = segment_results(agg, svals, f_starts, f_starts + ws)
+                first_rows = rows[f_starts - gs]
+                close_rows = rows[f_starts - gs + ws - 1]
+                for j in range(n_fresh):
+                    r = results[j]
+                    values = dict(zip(groupby, key))
+                    values[result_attr] = r.item() if isinstance(r, np.generic) else r
+                    pending.append((
+                        int(close_rows[j]),
+                        train.tuple_at(a + int(first_rows[j])).derive(values),
+                    ))
+            # Trailing rows open a fresh partial window.
+            tail = first_close + 1 + ws * n_fresh
+            if tail < gm:
+                state = segment_fold(agg, agg.initial(), svals, gs + tail, ge)
+                inserts.append((
+                    int(rows[tail]), key,
+                    (state, gm - tail, train.tuple_at(a + int(rows[tail])), {}),
+                ))
+        inserts.sort(key=lambda ie: ie[0])
+        for _pos, key, entry in inserts:
+            windows[key] = entry
+        pending.sort(key=lambda pe: pe[0])
+        self.windows_emitted += len(pending)
+        for _pos, tup in pending:
+            out.add_tuple(tup)
+        return True
 
     def _fire_timeouts(self, now: float) -> list[Emission]:
         """Emit windows stale for longer than the timeout (the footnote's

@@ -17,9 +17,32 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from repro.core.aggregates import AggregateFunction, get_aggregate
-from repro.core.operators.base import Emission, Operator
+import numpy as np
+
+from repro.core.aggregates import (
+    AggregateFunction,
+    _selection_hazard,
+    get_aggregate,
+)
+from repro.core.columnar import (
+    ColumnarTrain,
+    as_column,
+    emissions_to_trains,
+    group_rows,
+)
+from repro.core.operators.base import Emission, Operator, TrainEmission
 from repro.core.tuples import StreamTuple
+
+#: Aggregates whose sliding-window results are expressible as segment
+#: slices over a padded sliding view (recomputation-free fast path).
+_SLIDE_KERNEL_AGGS = frozenset(
+    {"cnt", "sum", "max", "min", "avg", "first", "last"}
+)
+
+
+def _col_pyval(col: np.ndarray, i: int) -> Any:
+    v = col[i]
+    return v.item() if col.dtype.kind != "O" else v
 
 
 class XSection(Operator):
@@ -160,6 +183,139 @@ class Slide(Operator):
         values = dict(zip(self.groupby, key))
         values[self.result_attr] = self.agg.apply(list(buffer))
         return [(0, tup.derive(values))]
+
+    # -- columnar window kernel --------------------------------------------
+
+    @property
+    def supports_columnar(self) -> bool:
+        return True
+
+    def process_columnar(self, train: ColumnarTrain, port: int = 0) -> list[TrainEmission]:
+        """Vectorized sliding windows: one output row per input row.
+
+        Rows are grouped by key; each group's windows become segment
+        slices of a padded sliding view over (carried buffer + group
+        values), evaluated with exact scalar semantics (float sums run
+        a strictly sequential accumulate chain seeded at 0.0, matching
+        ``agg.apply``'s recomputation fold; max/min are pure selection).
+        Trains with lineage/trace metadata, non-kernel aggregates, or
+        ungroupable/non-numeric columns take the exact list path.  No
+        group state is mutated until every group has passed eligibility.
+        """
+        if port != 0:
+            raise ValueError(f"Slide has a single input port, got {port}")
+        n = len(train)
+        if n == 0:
+            return []
+        name = self.agg.name
+        if (
+            train.seqs is not None
+            or train.origins is not None
+            or train.traces
+            or name not in _SLIDE_KERNEL_AGGS
+        ):
+            return emissions_to_trains(self.process_batch(train.to_tuples(), port=port))
+        cols = [train.columns[g] for g in self.groupby]
+        grouped = group_rows(cols)
+        if grouped is None:
+            return emissions_to_trains(self.process_batch(train.to_tuples(), port=port))
+        order, gstarts, gends = grouped
+        svals = train.columns[self.value_attr][order]
+        groups = []
+        for gi in range(len(gstarts)):
+            gs, ge = int(gstarts[gi]), int(gends[gi])
+            rows = order[gs:ge]
+            key = tuple(_col_pyval(c, int(rows[0])) for c in cols)
+            buffer = self._buffers.get(key)
+            carried = list(buffer) if buffer else []
+            gvals = svals[gs:ge]
+            full = np.concatenate([as_column(carried), gvals]) if carried else gvals
+            if name not in ("cnt", "last"):
+                if full.dtype.kind not in "ifb":
+                    return emissions_to_trains(
+                        self.process_batch(train.to_tuples(), port=port)
+                    )
+                if carried and full.dtype != gvals.dtype:
+                    # Carried values promoted the window dtype (schema
+                    # drift between claims): the scalar path would emit
+                    # per-window Python types the promotion loses.
+                    return emissions_to_trains(
+                        self.process_batch(train.to_tuples(), port=port)
+                    )
+                if name in ("max", "min") and _selection_hazard(full):
+                    # numpy tie/NaN picks can differ from Python's
+                    # first-wins min/max (-0.0 vs 0.0, NaN ordering).
+                    return emissions_to_trains(
+                        self.process_batch(train.to_tuples(), port=port)
+                    )
+            groups.append((key, rows, carried, gvals, full))
+        res_list = [
+            self._slide_window_results(full, len(carried), len(gvals))
+            for _key, _rows, carried, gvals, full in groups
+        ]
+        out_col = np.empty(n, dtype=res_list[0].dtype)
+        out_col[order] = np.concatenate(res_list)
+        # Commit in first-arrival order so new dict keys land where the
+        # scalar path would insert them (snapshots compare byte-identical).
+        for key, _rows, carried, gvals, _full in sorted(
+            groups, key=lambda g: int(g[1][0])
+        ):
+            self._buffers[key] = deque(
+                (carried + gvals.tolist())[-self.size:], maxlen=self.size
+            )
+        out_cols = {g: train.columns[g] for g in self.groupby}
+        out_cols[self.result_attr] = out_col
+        fields = (*self.groupby, self.result_attr)
+        return [(0, ColumnarTrain(fields, out_cols, train.timestamps))]
+
+    def _slide_window_results(self, full: np.ndarray, carried: int, m: int) -> np.ndarray:
+        """Results of the ``m`` windows ending at ``full[carried:]``."""
+        size = self.size
+        name = self.agg.name
+        if name == "cnt":
+            return np.minimum(np.arange(carried + 1, carried + m + 1), size)
+        if name == "last":
+            return full[carried:]
+        if name == "first":
+            idx = np.maximum(np.arange(carried + 1 - size, carried + m + 1 - size), 0)
+            return full[idx]
+        kind = full.dtype.kind
+        if name in ("sum", "avg") and kind in "ib":
+            # Cumsum difference: exact for ints (two's-complement wrap is
+            # the shared documented divergence).
+            cs = np.cumsum(full, dtype=np.int64)
+            ends_i = np.arange(carried, carried + m)
+            starts_i = np.maximum(ends_i + 1 - size, 0)
+            sums = cs[ends_i] - np.where(starts_i > 0, cs[starts_i - 1], 0)
+            if name == "sum":
+                return sums
+            counts = np.minimum(np.arange(carried + 1, carried + m + 1), size)
+            return sums / counts
+        if name in ("sum", "avg"):
+            # Float windows: replay agg.apply's left fold exactly — a
+            # 0.0-seeded accumulate chain per row (identity pads included,
+            # 0.0 + v is bitwise v for every v the fold can see).
+            padded = np.concatenate(
+                [np.zeros(size - 1), np.asarray(full, dtype=np.float64)]
+            )
+            view = np.lib.stride_tricks.sliding_window_view(padded, size)[carried:carried + m]
+            chain = np.concatenate([np.zeros((m, 1)), view], axis=1)
+            sums = np.add.accumulate(chain, axis=1)[:, -1]
+            if name == "sum":
+                return sums
+            counts = np.minimum(np.arange(carried + 1, carried + m + 1), size)
+            return sums / counts
+        # max / min: identity-element pads, pure selection.
+        if kind == "f":
+            pad = -np.inf if name == "max" else np.inf
+        elif kind == "b":
+            pad = name != "max"
+        else:
+            info = np.iinfo(full.dtype)
+            pad = info.min if name == "max" else info.max
+        padded = np.concatenate([np.full(size - 1, pad, dtype=full.dtype), full])
+        view = np.lib.stride_tricks.sliding_window_view(padded, size)[carried:carried + m]
+        return view.max(axis=1) if name == "max" else view.min(axis=1)
 
     def snapshot(self) -> Any:
         return {k: list(v) for k, v in self._buffers.items()}

@@ -23,7 +23,8 @@ import heapq
 import itertools
 from typing import Any
 
-from repro.core.operators.base import Emission, Operator
+from repro.core.columnar import ColumnarTrain, emissions_to_trains
+from repro.core.operators.base import Emission, Operator, TrainEmission
 from repro.core.tuples import StreamTuple
 
 
@@ -51,6 +52,10 @@ class WSort(Operator):
         self.sort_attrs = tuple(sort_attrs)
         self.timeout = timeout
         self._heap: list[tuple[tuple, int, float, StreamTuple]] = []
+        # Columnar trains accepted while in the pure-buffering regime
+        # (timeout=inf, nothing emitted yet); materialized lazily on the
+        # first heap access.  See process_columnar.
+        self._pending: list[ColumnarTrain] = []
         self._tiebreak = itertools.count()
         self._last_emitted_key: tuple | None = None
         # Start of the current timeout period; None while the buffer is
@@ -66,9 +71,53 @@ class WSort(Operator):
     def _key(self, tup: StreamTuple) -> tuple:
         return tup.key(self.sort_attrs)
 
+    # -- columnar fast path -------------------------------------------------
+
+    @property
+    def supports_columnar(self) -> bool:
+        return True
+
+    def process_columnar(self, train: ColumnarTrain, port: int = 0) -> list[TrainEmission]:
+        """Buffer whole trains while nothing can be emitted or discarded.
+
+        In the pure-buffering regime — ``timeout`` is infinite and no
+        tuple has been emitted yet — the scalar path's only per-tuple
+        work is a heap push, so the train is parked unmaterialized and
+        absorbed (in arrival order, with identical tiebreak numbering)
+        only when the heap is actually needed: the next scalar process,
+        a flush, or a snapshot.  Outside that regime the exact list path
+        runs per claim.
+        """
+        if port != 0:
+            raise ValueError(f"WSort has a single input port, got {port}")
+        if len(train) == 0:
+            return []
+        if self.timeout != float("inf") or self._last_emitted_key is not None:
+            self._absorb_pending()
+            return emissions_to_trains(self.process_batch(train.to_tuples(), port=port))
+        if self._period_start is None:
+            self._period_start = float(train.timestamps[0])
+        self._pending.append(train)
+        return []
+
+    def _absorb_pending(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        heap = self._heap
+        tiebreak = self._tiebreak
+        key_of = self._key
+        for train in pending:
+            for tup in train.to_tuples():
+                heapq.heappush(
+                    heap, (key_of(tup), next(tiebreak), tup.timestamp, tup)
+                )
+
     def process(self, tup: StreamTuple, port: int = 0) -> list[Emission]:
         if port != 0:
             raise ValueError(f"WSort has a single input port, got {port}")
+        if self._pending:
+            self._absorb_pending()
         key = self._key(tup)
         if self._last_emitted_key is not None and key < self._last_emitted_key:
             # Lossy case from the paper's footnote: a later-sorting tuple
@@ -92,6 +141,7 @@ class WSort(Operator):
         return out
 
     def flush(self) -> list[Emission]:
+        self._absorb_pending()
         emissions: list[Emission] = []
         while self._heap:
             emissions.append((0, self._pop()))
@@ -99,11 +149,13 @@ class WSort(Operator):
 
     def reset(self) -> None:
         self._heap = []
+        self._pending = []
         self._last_emitted_key = None
         self._period_start = None
         self.tuples_discarded = 0
 
     def snapshot(self) -> Any:
+        self._absorb_pending()
         return (
             list(self._heap),
             self._last_emitted_key,
@@ -118,6 +170,7 @@ class WSort(Operator):
         heap, last_key, period_start, discarded = state
         self._heap = list(heap)
         heapq.heapify(self._heap)
+        self._pending = []
         self._last_emitted_key = last_key
         self._period_start = period_start
         self.tuples_discarded = discarded
@@ -125,7 +178,7 @@ class WSort(Operator):
     @property
     def buffered(self) -> int:
         """Number of tuples currently held in the sort buffer."""
-        return len(self._heap)
+        return len(self._heap) + sum(len(t) for t in self._pending)
 
     def describe(self) -> str:
         timeout = "inf" if self.timeout == float("inf") else f"{self.timeout:g}"

@@ -628,9 +628,15 @@ def _diurnal_checkout(scale: float) -> Scenario:
 
 def _flash_crowd(scale: float) -> Scenario:
     """Two 4x flash crowds over a rotating hot-key population; the
-    second crowd coincides with a 2x capacity loss."""
+    second crowd coincides with a 2x capacity loss.
+
+    Volume is provisioned at twice the original rates (with capacity
+    raised to match, so the load-factor trajectory and SLO targets are
+    unchanged): the columnar window kernels made the full-scale nightly
+    run cheap enough to afford the larger tuple population.
+    """
     duration = 10.0
-    keys = _count(192 * scale, 48)
+    keys = _count(384 * scale, 48)
 
     def build() -> tuple[QueryNetwork, dict[str, QoSSpec]]:
         net = QueryNetwork("flash_crowd")
@@ -666,8 +672,8 @@ def _flash_crowd(scale: float) -> Scenario:
 
     def traffic(seed: int) -> Traffic:
         source = FlashCrowdSource(
-            base_rate=150.0 * scale,
-            crowd_rate=800.0 * scale,
+            base_rate=300.0 * scale,
+            crowd_rate=1600.0 * scale,
             crowds=[(3.0, 4.2), (7.0, 8.2)],
             population=KeyedPopulation(keys, skew=1.1, rotate_every=0.5),
             seed=seed,
@@ -681,7 +687,7 @@ def _flash_crowd(scale: float) -> Scenario:
         build=build,
         traffic=traffic,
         duration=duration,
-        cpu_capacity=scale,
+        cpu_capacity=2.0 * scale,
         faults=[CapacityFault(7.2, 8.0, factor=0.4)],
         slos=[
             SLO("p50_latency", "latency", target=0.30, percentile=50.0),
@@ -770,9 +776,14 @@ def _elastic_flash_crowd(scale: float) -> Scenario:
 
 def _iot_fleet(scale: float) -> Scenario:
     """A churning device fleet feeding a per-shard health aggregate,
-    through an upstream outage and a capacity brownout."""
+    through an upstream outage and a capacity brownout.
+
+    Like ``flash_crowd``, fleet volume runs at twice the original rate
+    with capacity raised to match — same load shape and SLO targets,
+    double the tuples through the windowed health aggregate.
+    """
     duration = 10.0
-    devices = _count(400 * scale, 40)
+    devices = _count(800 * scale, 40)
 
     def build() -> tuple[QueryNetwork, dict[str, QoSSpec]]:
         net = QueryNetwork("iot_fleet")
@@ -797,7 +808,7 @@ def _iot_fleet(scale: float) -> Scenario:
     def traffic(seed: int) -> Traffic:
         source = SensorFleetSource(
             n_devices=devices,
-            rate=250.0 * scale,
+            rate=500.0 * scale,
             skew=1.2,
             churn_every=0.1,
             seed=seed,
@@ -811,7 +822,7 @@ def _iot_fleet(scale: float) -> Scenario:
         build=build,
         traffic=traffic,
         duration=duration,
-        cpu_capacity=scale,
+        cpu_capacity=2.0 * scale,
         faults=[
             InputOutageFault(4.0, 5.2, input_name="sensors"),
             CapacityFault(7.0, 8.0, factor=0.35),

@@ -361,7 +361,15 @@ def test_pyarrow_guard():
     assert have_pyarrow() in (True, False)
     if not have_pyarrow():
         train = ColumnarTrain.from_tuples(make_stream(rows(3)))
-        with pytest.raises(RuntimeError):
+        # The message is pinned: operator guides tell users to install
+        # the 'arrow' extra verbatim, so a reworded guard is a break.
+        with pytest.raises(
+            RuntimeError,
+            match=(
+                r"pyarrow is not installed; install the optional 'arrow' "
+                r"extra to use columnar wire interchange"
+            ),
+        ):
             train.to_arrow()
 
 

@@ -61,7 +61,23 @@ class TestEligibility:
         net.connect("t", "m")
         net.connect("m", "g")
         net.connect("g", "out:sink")
-        assert find_runs(net) == [["m", "g"]]
+        # A windowed box with a columnar kernel may *terminate* a run
+        # (window-tail extension) but never sits in its interior — the
+        # downstream stateless pair still forms its own run.
+        assert find_runs(net) == [["f", "t"], ["m", "g"]]
+
+    def test_stateful_box_never_interior(self):
+        net = QueryNetwork()
+        net.add_box("f", Filter(lambda t: True))
+        net.add_box("t", Tumble("cnt", groupby=("A",), value_attr="A"))
+        net.add_box("m", Map(lambda v: v))
+        net.connect("in:src", "f")
+        net.connect("f", "t")
+        net.connect("t", "m")
+        net.connect("m", "out:sink")
+        runs = find_runs(net)
+        for run in runs:
+            assert "t" not in run[:-1]
 
     def test_fan_out_breaks_run(self):
         net = QueryNetwork()

@@ -29,6 +29,8 @@ from repro.core.operators.filter import Filter
 from repro.core.operators.map import Map, columnar_map
 from repro.core.operators.tumble import Tumble
 from repro.core.operators.union import Union
+from repro.core.operators.windows import Slide
+from repro.core.operators.wsort import WSort
 from repro.core.query import QueryNetwork
 from repro.core.tuples import make_stream
 from repro.obs.export import dumps, snapshot
@@ -69,19 +71,42 @@ def random_network(rng):
             return CaseFilter([col("A") % m == 0], cost_per_tuple=cost)
         return CaseFilter([lambda t, m=m: t["A"] % m == 0], cost_per_tuple=cost)
 
+    def windowed_op():
+        """A random windowed box whose output schema stays {G, A}, so it
+        can sit anywhere in a chain.  Covers every columnar window
+        kernel: Tumble run (with and without timeouts that actually fire
+        — inputs are spaced 0.002 within a chunk with ~1.0 gaps between
+        chunks), Tumble count, Slide, and WSort's buffering regimes."""
+        agg = rng.choice(["sum", "cnt", "max", "avg"])
+        kind = rng.randrange(5)
+        if kind == 0:
+            return Tumble(
+                agg, groupby=("G",), value_attr="A", result_attr="A",
+                mode="count", window_size=rng.randint(2, 4),
+            )
+        if kind == 1:
+            return Tumble(
+                agg, groupby=("G",), value_attr="A", result_attr="A",
+                mode="run",
+            )
+        if kind == 2:
+            return Tumble(
+                agg, groupby=("G",), value_attr="A", result_attr="A",
+                mode="run", timeout=rng.choice([0.004, 0.05]),
+            )
+        if kind == 3:
+            return Slide(
+                agg, groupby=("G",), value_attr="A", result_attr="A",
+                size=rng.randint(1, 4),
+            )
+        return WSort(("A", "G"), timeout=rng.choice([float("inf"), 0.05]))
+
     def extend(prev, length):
         """Grow a chain of `length` boxes from `prev` (input or box id)."""
         for _ in range(length):
             box_id = f"b{next(counter)}"
             if rng.random() < 0.15:
-                op = Tumble(
-                    "sum",
-                    groupby=("G",),
-                    value_attr="A",
-                    result_attr="A",
-                    mode="count",
-                    window_size=rng.randint(2, 4),
-                )
+                op = windowed_op()
             else:
                 op = fusable_op()
             net.add_box(box_id, op)
@@ -145,8 +170,10 @@ def run_config(seed, batch_execution, fusion, columnar_push=False):
     # Interleave pushes and draining so trains start from varied queue depths.
     for chunk in range(3):
         for idx, name in enumerate(inputs):
+            # G runs of length 2 exercise run-mode windows wider than one
+            # tuple while still interleaving groups across train bounds.
             rows = [
-                {"G": i % 3, "A": i * (idx + 1) + chunk}
+                {"G": (i // 2) % 3, "A": i * (idx + 1) + chunk}
                 for i in range(n_tuples // 3)
             ]
             stream = make_stream(rows, start_time=chunk * 1.0, spacing=0.002)

@@ -1,0 +1,505 @@
+"""Columnar window kernels: segment-boundary edge cases.
+
+The engine-level property harness (test_fusion_property) sweeps random
+networks; these tests pin the specific boundary conditions the kernels
+must honour — open windows carried across 3+ claims, timeouts landing
+exactly on a segment edge, empty-train claims, count-mode groups
+interleaved across trains — plus the aggregate segment/fold kernel
+contract itself and WSort's lazy train absorption.
+
+Every equivalence check compares a columnar-driven operator against a
+scalar twin on emissions (port, values, timestamp, seq, origin),
+``repr(snapshot())`` byte equality (dict insertion order included) and
+public counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import (
+    DECLINED,
+    get_aggregate,
+    segment_fold,
+    segment_results,
+)
+from repro.core.columnar import ColumnarTrain, group_rows
+from repro.core.engine import AuroraEngine
+from repro.core.operators.filter import Filter
+from repro.core.operators.map import columnar_map
+from repro.core.operators.tumble import Tumble
+from repro.core.operators.windows import Slide
+from repro.core.operators.wsort import WSort
+from repro.core.columnar import col
+from repro.core.query import QueryNetwork
+from repro.core.tuples import StreamTuple, make_stream
+
+KERNEL_AGGS = ["cnt", "sum", "max", "min", "avg", "first", "last"]
+
+
+def stream_of(rows, start=0.0, spacing=0.002):
+    return make_stream(rows, start_time=start, spacing=spacing)
+
+
+def scalar_run(op, tuples):
+    out = []
+    for tup in tuples:
+        out.extend(op.process(tup, port=0))
+    return out
+
+
+def columnar_run(op, trains):
+    out = []
+    for train in trains:
+        for port, sub in op.process_columnar(train, port=0):
+            out.extend((port, tup) for tup in sub.to_tuples())
+    return out
+
+
+def emission_key(emissions):
+    return [
+        (port, list(t.values.items()), repr(t.timestamp), t.seq, t.origin)
+        for port, t in emissions
+    ]
+
+
+def assert_twin(make_op, tuples, splits):
+    """Columnar claims split at ``splits`` == the scalar per-tuple loop."""
+    scalar_op, columnar_op = make_op(), make_op()
+    expected = scalar_run(scalar_op, tuples)
+    bounds = [0, *splits, len(tuples)]
+    trains = [
+        ColumnarTrain.from_tuples(tuples[a:b])
+        for a, b in zip(bounds, bounds[1:])
+        if b > a
+    ]
+    got = columnar_run(columnar_op, trains)
+    assert emission_key(got) == emission_key(expected)
+    assert repr(columnar_op.snapshot()) == repr(scalar_op.snapshot())
+    # Whatever is still buffered must drain identically.
+    assert emission_key(scalar_op.flush()) == emission_key(columnar_op.flush())
+    return scalar_op, columnar_op
+
+
+# -- aggregate kernel contract ------------------------------------------------
+
+
+class TestSegmentKernels:
+    @pytest.mark.parametrize("name", KERNEL_AGGS)
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [3, 1, 4, 1, 5, 9, 2, 6, 5, 3],
+            [0.1, -2.5, 3.75, 0.0, -0.0, 1e16, 1.0, -1e16, 2.0, 0.3],
+            [True, False, True, True, False, True, False, False, True, True],
+        ],
+        ids=["int", "float", "bool"],
+    )
+    def test_segment_results_exact(self, name, values):
+        agg = get_aggregate(name)
+        column = ColumnarTrain.from_tuples(
+            stream_of([{"A": v} for v in values])
+        ).columns["A"]
+        starts = np.array([0, 2, 3, 7], dtype=np.intp)
+        ends = np.array([2, 3, 7, 10], dtype=np.intp)
+        got = segment_results(agg, column, starts, ends)
+        expected = [
+            agg.apply(values[a:b]) for a, b in zip(starts.tolist(), ends.tolist())
+        ]
+        # Kernels may return numpy arrays (consumers emit them as train
+        # columns); the contract is bit-exact values after .item().
+        normalized = [
+            v.item() if isinstance(v, np.generic) else v for v in list(got)
+        ]
+        assert [repr(v) for v in normalized] == [repr(v) for v in expected]
+
+    @pytest.mark.parametrize("name", KERNEL_AGGS)
+    def test_segment_fold_resumes_open_state(self, name):
+        agg = get_aggregate(name)
+        head, tail = [2.5, -1.25, 7.0], [0.5, 1e16, 1.0, -3.0]
+        state = agg.initial()
+        for v in head:
+            state = agg.update(state, v)
+        column = np.asarray(tail, dtype=np.float64)
+        folded = segment_fold(agg, state, column, 0, len(tail))
+        expected = agg.initial()
+        for v in head + tail:
+            expected = agg.update(expected, v)
+        assert repr(agg.result(folded)) == repr(agg.result(expected))
+
+    def test_segment_fold_empty_segment_is_identity(self):
+        agg = get_aggregate("sum")
+        state = object()  # must come back untouched, not coerced
+        assert segment_fold(agg, state, np.arange(4), 2, 2) is state
+
+    def test_object_dtype_declines_to_exact_fallback(self):
+        agg = get_aggregate("sum")
+        column = np.array([1, "x", 2], dtype=object)
+        starts, ends = np.array([0], dtype=np.intp), np.array([1], dtype=np.intp)
+        assert list(segment_results(agg, column, starts, ends)) == [1]
+        assert agg.fold_kernel(0, column, 0, 1) is DECLINED
+
+    def test_int_state_float_column_fold_matches_scalar_chain(self):
+        # A window opened on ints, continued with floats: the fold must
+        # replay the scalar update chain (int state + float values).
+        agg = get_aggregate("sum")
+        state = agg.update(agg.initial(), 3)  # int state
+        column = np.asarray([0.1, 0.2, 0.3], dtype=np.float64)
+        folded = segment_fold(agg, state, column, 0, 3)
+        expected = ((3 + 0.1) + 0.2) + 0.3
+        assert repr(folded) == repr(expected)
+
+
+# -- Tumble run mode ----------------------------------------------------------
+
+
+class TestTumbleRunSegments:
+    def test_open_window_spans_three_plus_segments(self):
+        # One run of 11 equal keys split across 4 claims: nothing may be
+        # emitted until the key finally changes in the 5th.
+        rows = [{"G": 7, "A": i} for i in range(11)] + [{"G": 8, "A": 99}]
+        tuples = stream_of(rows)
+
+        def make():
+            return Tumble("sum", groupby=("G",), value_attr="A", result_attr="A")
+
+        scalar_op, columnar_op = assert_twin(make, tuples, splits=[3, 5, 8, 11])
+        assert columnar_op.windows_emitted == scalar_op.windows_emitted
+
+    def test_carried_window_closes_mid_segment(self):
+        rows = (
+            [{"G": 0, "A": 1}, {"G": 0, "A": 2}]
+            + [{"G": 1, "A": 3}, {"G": 1, "A": 4}, {"G": 2, "A": 5}]
+        )
+        assert_twin(
+            lambda: Tumble("avg", groupby=("G",), value_attr="A", result_attr="A"),
+            stream_of(rows),
+            splits=[2],
+        )
+
+    def test_multi_attr_groupby_and_float_values(self):
+        rows = [
+            {"G": i // 3 % 2, "H": i // 6, "A": 0.25 * i - 1.0} for i in range(14)
+        ]
+        assert_twin(
+            lambda: Tumble(
+                "sum", groupby=("G", "H"), value_attr="A", result_attr="A"
+            ),
+            stream_of(rows),
+            splits=[4, 9],
+        )
+
+
+class TestTumbleTimeoutAtSegmentEdge:
+    def test_timeout_fires_exactly_at_segment_edge(self):
+        # Gap between the last tuple of claim 1 and the first of claim 2
+        # is exactly the timeout: the open window must flush before the
+        # second claim's first tuple is folded in.
+        first = stream_of([{"G": 1, "A": i} for i in range(4)], start=0.0)
+        second = stream_of([{"G": 1, "A": 10 + i} for i in range(3)], start=0.506)
+        tuples = first + second
+        assert (tuples[4].timestamp - tuples[3].timestamp) == pytest.approx(0.5)
+
+        def make():
+            return Tumble(
+                "sum", groupby=("G",), value_attr="A", result_attr="A",
+                timeout=0.5,
+            )
+
+        assert_twin(make, tuples, splits=[4])
+
+    def test_timeout_gap_interior_to_one_claim(self):
+        # The same gap arriving inside a single claim must chunk the
+        # train and fire the timeout between the chunks.
+        first = stream_of([{"G": 1, "A": i} for i in range(4)], start=0.0)
+        second = stream_of([{"G": 1, "A": 10 + i} for i in range(3)], start=0.506)
+        assert_twin(
+            lambda: Tumble(
+                "sum", groupby=("G",), value_attr="A", result_attr="A",
+                timeout=0.5,
+            ),
+            first + second,
+            splits=[],
+        )
+
+    def test_sub_timeout_gap_does_not_fire(self):
+        first = stream_of([{"G": 1, "A": i} for i in range(4)], start=0.0)
+        second = stream_of([{"G": 1, "A": 10 + i} for i in range(3)], start=0.5059)
+        assert_twin(
+            lambda: Tumble(
+                "sum", groupby=("G",), value_attr="A", result_attr="A",
+                timeout=0.5,
+            ),
+            first + second,
+            splits=[4],
+        )
+
+
+# -- Tumble count mode --------------------------------------------------------
+
+
+class TestTumbleCountSegments:
+    def test_groups_interleaved_across_trains(self):
+        # Three groups round-robin; window_size 3 closes each group's
+        # window across train boundaries, never at them.
+        rows = [{"G": i % 3, "A": i * i} for i in range(20)]
+        scalar_op, columnar_op = assert_twin(
+            lambda: Tumble(
+                "sum", groupby=("G",), value_attr="A", result_attr="A",
+                mode="count", window_size=3,
+            ),
+            stream_of(rows),
+            splits=[4, 7, 13],
+        )
+        assert columnar_op.windows_emitted == scalar_op.windows_emitted
+
+    def test_window_size_one_every_tuple_closes(self):
+        rows = [{"G": i % 2, "A": i} for i in range(7)]
+        assert_twin(
+            lambda: Tumble(
+                "max", groupby=("G",), value_attr="A", result_attr="A",
+                mode="count", window_size=1,
+            ),
+            stream_of(rows),
+            splits=[2, 3],
+        )
+
+    def test_count_mode_with_timeout_chunking(self):
+        first = stream_of([{"G": i % 2, "A": i} for i in range(5)], start=0.0)
+        second = stream_of(
+            [{"G": i % 2, "A": 50 + i} for i in range(5)], start=2.0
+        )
+        assert_twin(
+            lambda: Tumble(
+                "cnt", groupby=("G",), value_attr="A", result_attr="A",
+                mode="count", window_size=4, timeout=1.0,
+            ),
+            first + second,
+            splits=[5],
+        )
+
+    def test_ungroupable_keys_fall_back_exactly(self):
+        # Unorderable mixed-type keys defeat np.unique's sort; the claim
+        # must take the exact list path with identical results.
+        rows = [{"G": 1 if i % 2 else "x", "A": i} for i in range(8)]
+        tuples = stream_of(rows)
+        assert group_rows([ColumnarTrain.from_tuples(tuples).columns["G"]]) is None
+        assert_twin(
+            lambda: Tumble(
+                "sum", groupby=("G",), value_attr="A", result_attr="A",
+                mode="count", window_size=2,
+            ),
+            tuples,
+            splits=[3],
+        )
+
+
+# -- empty and metadata-carrying claims --------------------------------------
+
+
+class TestDegenerateClaims:
+    def empty_train(self):
+        return ColumnarTrain(
+            ("G", "A"),
+            {"G": np.empty(0, dtype=np.int64), "A": np.empty(0, dtype=np.int64)},
+            np.empty(0, dtype=np.float64),
+        )
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: Tumble("sum", groupby=("G",), value_attr="A", timeout=0.1),
+            lambda: Tumble(
+                "sum", groupby=("G",), value_attr="A", mode="count", window_size=2
+            ),
+            lambda: Slide("sum", groupby=("G",), value_attr="A", size=2),
+            lambda: WSort(("A",)),
+        ],
+        ids=["tumble-run", "tumble-count", "slide", "wsort"],
+    )
+    def test_empty_claim_is_a_no_op(self, make):
+        op = make()
+        seed = stream_of([{"G": 0, "A": 1}, {"G": 0, "A": 2}])
+        op.process_columnar(ColumnarTrain.from_tuples(seed))
+        before = repr(op.snapshot())
+        assert op.process_columnar(self.empty_train()) == []
+        assert repr(op.snapshot()) == before
+
+    def test_traced_train_takes_exact_path(self):
+        tuples = stream_of([{"G": i % 2, "A": i} for i in range(6)])
+        for tup in tuples:
+            tup.trace = ("span", tup.timestamp)
+        assert_twin(
+            lambda: Tumble(
+                "sum", groupby=("G",), value_attr="A", result_attr="A",
+                mode="count", window_size=2,
+            ),
+            tuples,
+            splits=[3],
+        )
+
+
+# -- Slide --------------------------------------------------------------------
+
+
+class TestSlideSegments:
+    @pytest.mark.parametrize("name", KERNEL_AGGS)
+    def test_carried_buffer_across_claims(self, name):
+        rows = [{"G": i % 2, "A": (7 * i) % 5 + 0.5} for i in range(12)]
+        assert_twin(
+            lambda: Slide(name, groupby=("G",), value_attr="A", size=3),
+            stream_of(rows),
+            splits=[2, 5, 9],
+        )
+
+    def test_window_larger_than_any_claim(self):
+        rows = [{"G": 0, "A": i} for i in range(9)]
+        assert_twin(
+            lambda: Slide("sum", groupby=("G",), value_attr="A", size=6),
+            stream_of(rows),
+            splits=[2, 4, 6, 8],
+        )
+
+    @pytest.mark.parametrize("name", ["max", "min"])
+    def test_negative_zero_ties_match_python_pick(self, name):
+        # Python's min/max keep the first of tied values, so -0.0 vs 0.0
+        # is observable in repr; the kernels must decline, not guess.
+        rows = [{"G": 0, "A": v} for v in [0.0, -0.0, 1.0, -0.0, 0.0, -1.0]]
+        assert_twin(
+            lambda: Slide(name, groupby=("G",), value_attr="A", size=3),
+            stream_of(rows),
+            splits=[2, 4],
+        )
+        assert_twin(
+            lambda: Tumble(
+                name, groupby=("G",), value_attr="A", result_attr="A",
+                mode="count", window_size=2,
+            ),
+            stream_of(rows),
+            splits=[3],
+        )
+
+    def test_dtype_promotion_between_claims_falls_back(self):
+        # Ints buffered first, floats next: the promoted window dtype
+        # would lose the scalar path's per-window Python types, so the
+        # second claim must take (and match) the exact path.
+        rows = [{"G": 0, "A": i} for i in range(4)] + [
+            {"G": 0, "A": 0.5 * i} for i in range(4)
+        ]
+        assert_twin(
+            lambda: Slide("sum", groupby=("G",), value_attr="A", size=3),
+            stream_of(rows),
+            splits=[4],
+        )
+
+
+# -- WSort --------------------------------------------------------------------
+
+
+class TestWSortPending:
+    def trains(self):
+        tuples = stream_of(
+            [{"A": (13 * i) % 7, "B": i} for i in range(10)]
+        )
+        return tuples, [
+            ColumnarTrain.from_tuples(tuples[:4]),
+            ColumnarTrain.from_tuples(tuples[4:]),
+        ]
+
+    def test_parked_trains_report_buffered_and_flush_in_order(self):
+        tuples, trains = self.trains()
+        op = WSort(("A", "B"))
+        for train in trains:
+            assert op.process_columnar(train) == []
+        assert op.buffered == 10
+        twin = WSort(("A", "B"))
+        assert scalar_run(twin, tuples) == []  # inf timeout buffers all
+        assert emission_key(op.flush()) == emission_key(twin.flush())
+
+    def test_snapshot_absorbs_pending_identically(self):
+        tuples, trains = self.trains()
+        op = WSort(("A", "B"))
+        for train in trains:
+            op.process_columnar(train)
+        twin = WSort(("A", "B"))
+        for tup in tuples:
+            twin.process(tup)
+        assert repr(op.snapshot()) == repr(twin.snapshot())
+        assert emission_key(op.flush()) == emission_key(twin.flush())
+
+    def test_scalar_process_after_parking_absorbs_first(self):
+        tuples, trains = self.trains()
+        op = WSort(("A", "B"))
+        op.process_columnar(trains[0])
+        late = StreamTuple({"A": -1, "B": 99}, timestamp=5.0)
+        twin = WSort(("A", "B"))
+        for tup in tuples[:4]:
+            twin.process(tup)
+        assert emission_key(op.process(late)) == emission_key(twin.process(late))
+        assert repr(op.snapshot()) == repr(twin.snapshot())
+
+    def test_finite_timeout_takes_exact_path(self):
+        tuples, _ = self.trains()
+        assert_twin(lambda: WSort(("A", "B"), timeout=0.005), tuples, splits=[4])
+
+
+# -- fused window tails -------------------------------------------------------
+
+
+class TestFusedWindowTail:
+    def network(self):
+        net = QueryNetwork()
+        net.add_box("f", Filter(col("A") % 7 != 0))
+        net.add_box("m", columnar_map({"G": col("G"), "A": col("A") + 1}))
+        net.add_box(
+            "w",
+            Tumble(
+                "sum", groupby=("G",), value_attr="A", result_attr="A",
+                mode="count", window_size=3,
+            ),
+        )
+        net.connect("in:s", "f")
+        net.connect("f", "m")
+        net.connect("m", "w")
+        net.connect("w", "out:o")
+        net.validate()
+        return net
+
+    def run(self, fusion, columnar):
+        net = self.network()
+        engine = AuroraEngine(
+            net, train_size=5, batch_execution=True, fusion=fusion
+        )
+        for chunk in range(3):
+            stream = stream_of(
+                [{"G": (i // 2) % 3, "A": i + chunk} for i in range(20)],
+                start=chunk * 1.0,
+            )
+            if columnar:
+                engine.push_train("s", ColumnarTrain.from_tuples(stream))
+            else:
+                engine.push_many("s", stream)
+            engine.run_until_idle()
+        engine.flush()
+        return engine, {
+            name: [(t.values, t.timestamp) for t in tuples]
+            for name, tuples in engine.outputs.items()
+        }
+
+    def test_window_terminates_the_fused_run(self):
+        engine, _ = self.run(fusion=True, columnar=True)
+        assert ["f", "m", "w"] in engine.fused_runs()
+
+    def test_outputs_and_clock_identical_across_configs(self):
+        results = {
+            (fusion, columnar): self.run(fusion, columnar)
+            for fusion in (False, True)
+            for columnar in (False, True)
+        }
+        baseline_engine, baseline_out = results[(False, False)]
+        for key, (engine, out) in results.items():
+            assert out == baseline_out, key
+            assert engine.clock == baseline_engine.clock, key
+            assert engine.steps == baseline_engine.steps, key
+            assert (
+                engine.tuples_processed == baseline_engine.tuples_processed
+            ), key
